@@ -1,0 +1,161 @@
+(* Benchmark harness: regenerates every figure/claim of the paper.
+
+   Part 1 — Bechamel microbenchmarks for the CPU-cost claims (§II-D: "less
+   than 1 ms additional latency per intermediate overlay node"; §V-B:
+   cryptography as the scaling barrier): real nanosecond costs of the
+   forwarding path and its components on this machine.
+
+   Part 2 — the simulation experiment tables (one per paper figure/claim,
+   see DESIGN.md's experiment index), printed via strovl_expt.
+
+   Usage: dune exec bench/main.exe            (full: a few minutes)
+          dune exec bench/main.exe -- --quick (reduced sweeps) *)
+
+open Bechamel
+open Toolkit
+module Siphash = Strovl_crypto.Siphash
+module Auth = Strovl_crypto.Auth
+module Gen = Strovl_topo.Gen
+module Graph = Strovl_topo.Graph
+module Dijkstra = Strovl_topo.Dijkstra
+module P = Strovl.Packet
+
+(* ------------------------- microbench fixtures ----------------------- *)
+
+let us_spec = Gen.us_backbone ()
+let us_graph = Gen.overlay_graph us_spec
+
+let us_weight =
+  let w = Array.make (Graph.link_count us_graph) 0 in
+  Graph.iter_links us_graph (fun l a b ->
+      w.(l) <- Gen.geo_delay_us us_spec.Gen.sites.(a) us_spec.Gen.sites.(b));
+  fun l -> w.(l)
+
+let mac_key = Siphash.key_of_string "bench-key"
+let payload_1316 = String.make 1316 'x'
+let registry = Auth.create_registry ~master:"bench" ~nodes:12
+let signed = Auth.sign registry ~node:0 "bench message"
+
+let bench_siphash =
+  Test.make ~name:"siphash-mac-1316B"
+    (Staged.stage (fun () -> Siphash.hash mac_key payload_1316))
+
+let bench_sign =
+  Test.make ~name:"auth-sign"
+    (Staged.stage (fun () -> Auth.sign registry ~node:0 "bench message"))
+
+let bench_verify =
+  Test.make ~name:"auth-verify"
+    (Staged.stage (fun () ->
+         Auth.verify_sign registry ~node:0 "bench message" signed))
+
+let bench_dijkstra =
+  Test.make ~name:"dijkstra-us-12"
+    (Staged.stage (fun () -> Dijkstra.run ~weight:us_weight us_graph 0))
+
+let bench_disjoint =
+  Test.make ~name:"3-disjoint-paths-us"
+    (Staged.stage (fun () ->
+         Strovl_topo.Disjoint.paths ~weight:us_weight ~k:3 us_graph 0 8))
+
+let bench_mcast_tree =
+  Test.make ~name:"mcast-tree-us"
+    (Staged.stage (fun () ->
+         Strovl_topo.Mcast.shortest_path_tree ~weight:us_weight us_graph
+           ~source:0 ~members:[ 2; 6; 8; 10 ]))
+
+let bench_bitmask =
+  let m = Strovl_topo.Bitmask.full ~nlinks:(Graph.link_count us_graph) in
+  Test.make ~name:"bitmask-count+iter"
+    (Staged.stage (fun () ->
+         let acc = ref (Strovl_topo.Bitmask.count m) in
+         Strovl_topo.Bitmask.iter m (fun l -> acc := !acc + l);
+         !acc))
+
+let bench_dedup =
+  let d = Strovl.Dedup.create () in
+  let flow = { P.f_src = 0; f_sport = 1; f_dest = P.To_node 1; f_dport = 2 } in
+  let seq = ref 0 in
+  Test.make ~name:"dedup-seen"
+    (Staged.stage (fun () ->
+         incr seq;
+         Strovl.Dedup.seen d flow !seq))
+
+(* The full forwarding path: a node receives a wire data message, charges
+   routing, and hands it onward; downstream nodes repeat until the
+   destination delivers. SEA->MIA is 4 overlay hops on this topology, so
+   per-hop CPU cost = measured / ~4. Virtual (simulated) time is free; only
+   real compute is measured. *)
+let bench_forward =
+  let engine = Strovl_sim.Engine.create () in
+  let config =
+    {
+      Strovl.Net.default_config with
+      Strovl.Net.node =
+        { Strovl.Node.default_config with Strovl.Node.proc_delay = 0 };
+    }
+  in
+  let net = Strovl.Net.create ~config engine us_spec in
+  (* No [start]: no hello traffic pollutes the measurement. *)
+  Strovl.Node.register_session (Strovl.Net.node net 8) ~port:9 ~deliver:ignore;
+  let flow = { P.f_src = 0; f_sport = 1; f_dest = P.To_node 8; f_dport = 9 } in
+  let seq = ref 0 in
+  Test.make ~name:"forward-path-SEA-MIA-4hops"
+    (Staged.stage (fun () ->
+         incr seq;
+         let pkt =
+           P.make ~flow ~routing:P.Link_state ~service:P.Best_effort ~seq:!seq
+             ~sent_at:(Strovl_sim.Engine.now engine) ~bytes:1200 ()
+         in
+         ignore (Strovl.Node.originate (Strovl.Net.node net 0) pkt);
+         Strovl_sim.Engine.run engine))
+
+let microbenches =
+  [
+    bench_siphash;
+    bench_sign;
+    bench_verify;
+    bench_dijkstra;
+    bench_disjoint;
+    bench_mcast_tree;
+    bench_bitmask;
+    bench_dedup;
+    bench_forward;
+  ]
+
+let run_microbenches () =
+  print_endline "== perhop-cost: Bechamel microbenchmarks (SII-D, SV-B) ==";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) -> Printf.printf "%-28s %12.1f ns/op\n" name ns
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        analyzed)
+    microbenches;
+  print_endline
+    "  note: paper SII-D claims <1ms per intermediate overlay node: the \
+     whole 4-hop forward path above must be well under 4,000,000 ns";
+  print_newline ()
+
+(* ----------------------------- experiments --------------------------- *)
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv in
+  let seed = 7L in
+  run_microbenches ();
+  if quick then print_endline "(quick mode: reduced packet counts and sweeps)";
+  List.iter
+    (fun (e : Strovl_expt.experiment) ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.Strovl_expt.run ~quick ~seed () in
+      Strovl_expt.Table.print Format.std_formatter table;
+      Format.printf "  (generated in %.1fs)@.@." (Unix.gettimeofday () -. t0))
+    Strovl_expt.all

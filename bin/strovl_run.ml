@@ -1,0 +1,65 @@
+(* Command-line experiment runner: lists and executes the paper-reproduction
+   experiments individually (the bench binary runs them all). *)
+
+open Cmdliner
+
+let run_experiments ids quick seed =
+  let targets =
+    match ids with
+    | [] -> Strovl_expt.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Strovl_expt.find id with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment: %s (try `list`)\n" id;
+            None)
+        ids
+  in
+  if targets = [] && ids <> [] then 1
+  else begin
+    List.iter
+      (fun (e : Strovl_expt.experiment) ->
+        let table = e.Strovl_expt.run ~quick ~seed () in
+        Strovl_expt.Table.print Format.std_formatter table)
+      targets;
+    0
+  end
+
+let list_experiments () =
+  List.iter
+    (fun (e : Strovl_expt.experiment) ->
+      Printf.printf "%-18s %s\n" e.Strovl_expt.id e.Strovl_expt.summary)
+    Strovl_expt.all;
+  0
+
+let ids =
+  let doc = "Experiment ids to run (default: all). Use the list command to enumerate." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let quick =
+  let doc = "Reduced packet counts and sweeps (for smoke testing)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed =
+  let doc = "Deterministic seed for the simulation RNG streams." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~doc)
+
+let run_cmd =
+  let doc = "run paper-reproduction experiments" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run_experiments $ ids $ quick $ seed)
+
+let list_cmd =
+  let doc = "list available experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let main =
+  let doc = "structured overlay network experiments (Babay et al., ICDCS 2017)" in
+  Cmd.group ~default:Term.(const run_experiments $ ids $ quick $ seed)
+    (Cmd.info "strovl_run" ~doc)
+    [ run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,8 @@
+(** Application workloads and receiver-side measurement for the paper's
+    application classes: broadcast video (§III-A), cloud monitoring and
+    control (§III-B), live TV (§IV-A), remote manipulation (§V-A), and
+    compound transcoding flows (§V-C). *)
+
+module Collect = Collect
+module Source = Source
+module Transcode = Transcode

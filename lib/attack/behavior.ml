@@ -1,0 +1,40 @@
+open Strovl_sim
+module Msg = Strovl.Msg
+module Net = Strovl.Net
+
+type t =
+  | Crash
+  | Blackhole
+  | Selective of (Strovl.Packet.flow -> bool)
+  | Delay_data of Time.t
+  | Drop_fraction of float
+
+let is_data = function Msg.Data _ -> true | _ -> false
+
+let flow_of = function
+  | Msg.Data { pkt; _ } -> Some pkt.Strovl.Packet.flow
+  | _ -> None
+
+let apply net ~rng ~node behavior =
+  let rng = Rng.split_named rng (Printf.sprintf "behavior/%d" node) in
+  let tap ~dir ~link msg =
+    ignore link;
+    match behavior with
+    | Crash -> Net.Drop
+    | Blackhole -> if is_data msg then Net.Drop else Net.Pass
+    | Selective f -> begin
+      match flow_of msg with
+      | Some flow when f flow -> Net.Drop
+      | _ -> Net.Pass
+    end
+    (* Per-packet behaviours act on ingress only, so one decision is made
+       per packet transiting the router (not once per tap side). *)
+    | Delay_data d ->
+      if dir = `In && is_data msg then Net.Delay d else Net.Pass
+    | Drop_fraction p ->
+      if dir = `In && is_data msg && Rng.bernoulli rng p then Net.Drop
+      else Net.Pass
+  in
+  Net.set_wire_tap net ~node tap
+
+let heal net ~node = Net.clear_wire_tap net ~node

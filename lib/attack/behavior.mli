@@ -1,0 +1,32 @@
+(** Compromised overlay node behaviours (§IV-B threat model).
+
+    A compromised node holds valid credentials — authentication alone
+    cannot stop it — and "cannot prevent messages sent by correct overlay
+    nodes from reaching their destination (provided that some correct path
+    through the overlay still exists)" only because of the IT protocols'
+    redundant dissemination and fairness. These behaviours implement the
+    attacks that claim is tested against, via {!Strovl.Net} wire taps. *)
+
+type t =
+  | Crash  (** drops everything in and out: fail-stop *)
+  | Blackhole
+      (** forwards the hello protocol and flooded state (so the topology
+          still looks healthy) but silently drops all data packets — the
+          classic compromised-router attack *)
+  | Selective of (Strovl.Packet.flow -> bool)
+      (** blackhole only flows matching the predicate *)
+  | Delay_data of Strovl_sim.Time.t
+      (** forward data late — breaks timeliness without touching delivery *)
+  | Drop_fraction of float
+      (** drop each data packet with the given probability (uses a stable
+          per-node RNG stream) *)
+
+val apply : Strovl.Net.t -> rng:Strovl_sim.Rng.t -> node:int -> t -> unit
+(** Installs the behaviour on the node's wire. A node keeps at most one
+    behaviour; re-applying replaces it. *)
+
+val heal : Strovl.Net.t -> node:int -> unit
+(** Removes any installed behaviour. *)
+
+val is_data : Strovl.Msg.t -> bool
+(** Whether a wire message carries application data. *)

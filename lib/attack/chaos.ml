@@ -1,0 +1,91 @@
+open Strovl_sim
+module Graph = Strovl_topo.Graph
+module Underlay = Strovl_net.Underlay
+module Gen = Strovl_topo.Gen
+
+type t = {
+  net : Strovl.Net.t;
+  rng : Rng.t;
+  mean_interval : float;
+  mean_outage : float;
+  avoid_partition : bool;
+  mutable running : bool;
+  mutable down_segments : int list;
+  mutable n_injected : int;
+  mutable n_skipped : int;
+}
+
+(* Would failing [candidate] (on top of the already-down segments)
+   disconnect the overlay graph? An overlay link is alive while at least
+   one ISP's direct fiber between its endpoints is up; links realized over
+   multi-segment ISP paths are approximated by their direct segments, which
+   is exact for the built-in topologies. *)
+let would_partition t candidate =
+  let underlay = Strovl.Net.underlay t.net in
+  let g = Strovl.Net.graph t.net in
+  let down si = si = candidate || List.mem si t.down_segments in
+  let link_alive l =
+    let a, b = Graph.endpoints g l in
+    List.exists
+      (fun si -> (not (down si)) && Underlay.segment_up underlay si)
+      (Underlay.segments_between underlay a b)
+  in
+  not (Graph.connected ~usable:link_alive g)
+
+let rec schedule_next t =
+  if t.running then begin
+    let delay =
+      max 1 (int_of_float (Rng.exponential t.rng t.mean_interval))
+    in
+    ignore
+      (Engine.schedule (Strovl.Net.engine t.net) ~delay (fun () -> inject t))
+  end
+
+and inject t =
+  if t.running then begin
+    let underlay = Strovl.Net.underlay t.net in
+    let nseg = Underlay.nsegments underlay in
+    let si = Rng.int t.rng nseg in
+    if Underlay.segment_up underlay si then begin
+      if t.avoid_partition && would_partition t si then
+        t.n_skipped <- t.n_skipped + 1
+      else begin
+        t.n_injected <- t.n_injected + 1;
+        t.down_segments <- si :: t.down_segments;
+        Underlay.fail_segment underlay si;
+        let outage = max 1 (int_of_float (Rng.exponential t.rng t.mean_outage)) in
+        ignore
+          (Engine.schedule (Strovl.Net.engine t.net) ~delay:outage (fun () ->
+               t.down_segments <- List.filter (fun s -> s <> si) t.down_segments;
+               Underlay.repair_segment underlay si))
+      end
+    end;
+    schedule_next t
+  end
+
+let start ~net ~rng ?(mean_interval = Time.sec 2) ?(mean_outage = Time.sec 1)
+    ?(avoid_partition = true) () =
+  let t =
+    {
+      net;
+      rng = Rng.split_named rng "chaos";
+      mean_interval = float_of_int mean_interval;
+      mean_outage = float_of_int mean_outage;
+      avoid_partition;
+      running = true;
+      down_segments = [];
+      n_injected = 0;
+      n_skipped = 0;
+    }
+  in
+  schedule_next t;
+  t
+
+let stop t =
+  t.running <- false;
+  let underlay = Strovl.Net.underlay t.net in
+  List.iter (Underlay.repair_segment underlay) t.down_segments;
+  t.down_segments <- []
+
+let failures_injected t = t.n_injected
+let skipped_for_partition t = t.n_skipped

@@ -1,0 +1,33 @@
+(** Chaos harness: seeded random fiber-segment failure/repair churn.
+
+    The resilient network architecture's whole point (§II-A) is surviving
+    continuous underlying-network trouble. This module drives a sustained,
+    reproducible storm of segment failures and repairs against an overlay
+    so soak tests can assert end-to-end invariants (reliable flows deliver
+    exactly once, the overlay reconverges, no protocol wedges).
+
+    Failures arrive as a Poisson process; each failed segment heals after a
+    random outage. A connectivity guard (optional) refuses failures that
+    would disconnect the *whole* overlay graph — the paper's architecture
+    assumes enough redundancy that total partition is out of scope. *)
+
+type t
+
+val start :
+  net:Strovl.Net.t ->
+  rng:Strovl_sim.Rng.t ->
+  ?mean_interval:Strovl_sim.Time.t ->
+  ?mean_outage:Strovl_sim.Time.t ->
+  ?avoid_partition:bool ->
+  unit ->
+  t
+(** Begins the churn. [mean_interval] (default 2 s) is the mean time between
+    failure events; [mean_outage] (default 1 s) the mean downtime;
+    [avoid_partition] (default true) skips failures that would disconnect
+    the overlay graph given the currently failed links. *)
+
+val stop : t -> unit
+(** Stops injecting and repairs everything still broken. *)
+
+val failures_injected : t -> int
+val skipped_for_partition : t -> int

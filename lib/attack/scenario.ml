@@ -1,0 +1,37 @@
+open Strovl_sim
+module Graph = Strovl_topo.Graph
+
+let flooder ~net ~node ~port ~dest ~dport ~service ~rate_pps ~bytes =
+  let client = Strovl.Client.attach (Strovl.Net.node net node) ~port in
+  let sender = Strovl.Client.sender client ~service ~dest ~dport () in
+  let interval = max 1 (1_000_000 / rate_pps) in
+  Strovl_apps.Source.start ~engine:(Strovl.Net.engine net) ~sender ~interval
+    ~bytes ()
+
+let forge_lsu ~net ~attacker ~victim () =
+  let graph = Strovl.Net.graph net in
+  let lies =
+    List.map
+      (fun l -> (l, { Strovl.Msg.li_up = false; li_metric = 1; li_loss = 0 }))
+      (Graph.incident graph victim)
+  in
+  let forged =
+    Strovl.Msg.Lsu
+      { origin = victim; lsu_seq = 1_000_000; links = lies; auth = None }
+  in
+  let incident = Graph.incident graph attacker in
+  List.iter (fun l -> Strovl.Net.inject net ~node:attacker ~link:l forged) incident;
+  List.length incident
+
+let compromise_set ~net ~rng ~nodes behavior =
+  List.iter (fun node -> Behavior.apply net ~rng ~node behavior) nodes
+
+let pick_interior ~rng ~graph ~src ~dst ~k =
+  let candidates =
+    List.filter
+      (fun v -> v <> src && v <> dst)
+      (List.init (Graph.n graph) (fun i -> i))
+  in
+  let arr = Array.of_list candidates in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))

@@ -1,0 +1,51 @@
+(** Composite attack scenarios used by the intrusion-tolerance experiments
+    (§IV-B).
+
+    - {!flooder}: the resource-consumption attack — a compromised source
+      blasts traffic at line rate to starve correct sources; the IT
+      protocols' fair round-robin scheduling must keep correct goodput.
+    - {!forge_lsu}: a compromised node injects an LSU in a *victim's* name
+      claiming its links are down, trying to poison everyone's connectivity
+      graph; origin authentication must reject it.
+    - {!compromise_set}: install a behaviour on a set of nodes (the
+      "up to k−1 compromised nodes anywhere" of the disjoint-path claim). *)
+
+val flooder :
+  net:Strovl.Net.t ->
+  node:int ->
+  port:int ->
+  dest:Strovl.Packet.dest ->
+  dport:int ->
+  service:Strovl.Packet.service ->
+  rate_pps:int ->
+  bytes:int ->
+  Strovl_apps.Source.t
+(** Attaches a client at the compromised node and fires at [rate_pps]. *)
+
+val forge_lsu :
+  net:Strovl.Net.t ->
+  attacker:int ->
+  victim:int ->
+  unit ->
+  int
+(** The attacker injects, on each of its incident links, a forged LSU in
+    the victim's name (sequence far ahead, all links down, no valid
+    signature). Returns the number of injected messages. With
+    authentication enabled the network must be unaffected. *)
+
+val compromise_set :
+  net:Strovl.Net.t ->
+  rng:Strovl_sim.Rng.t ->
+  nodes:int list ->
+  Behavior.t ->
+  unit
+
+val pick_interior :
+  rng:Strovl_sim.Rng.t ->
+  graph:Strovl_topo.Graph.t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  int list
+(** Picks [k] distinct candidate nodes to compromise, excluding the source
+    and destination. *)

@@ -1,0 +1,7 @@
+(** Compromised-node behaviours and attack scenarios for the
+    intrusion-tolerance experiments (§IV-B): blackholing and selective
+    forwarding routers, resource-consumption floods, and LSU forgery. *)
+
+module Behavior = Behavior
+module Scenario = Scenario
+module Chaos = Chaos

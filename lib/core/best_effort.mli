@@ -1,0 +1,14 @@
+(** Best Effort link protocol (Figure 2): transmit once, no recovery.
+
+    The overlay still improves on the raw Internet for best-effort flows via
+    routing (sub-second reroute, multicast trees); this protocol just adds
+    no per-link reliability. It is also the baseline the recovery protocols
+    are measured against. *)
+
+type t
+
+val create : Lproto.ctx -> t
+val send : t -> Packet.t -> unit
+val recv : t -> Msg.t -> unit
+val sent : t -> int
+val received : t -> int

@@ -1,0 +1,61 @@
+module FlowMap = Map.Make (struct
+  type t = Packet.flow
+
+  let compare = Packet.flow_compare
+end)
+
+type window = {
+  bits : Bytes.t; (* ring of seen flags indexed by seq mod window *)
+  mutable high : int; (* highest seq recorded, -1 initially *)
+}
+
+type t = { window : int; mutable map : window FlowMap.t }
+
+let create ?(window = 4096) () =
+  if window <= 0 then invalid_arg "Dedup.create";
+  { window; map = FlowMap.empty }
+
+let get_window t flow =
+  match FlowMap.find_opt flow t.map with
+  | Some w -> w
+  | None ->
+    let w = { bits = Bytes.make t.window '\000'; high = -1 } in
+    t.map <- FlowMap.add flow w t.map;
+    w
+
+let idx t seq = seq mod t.window
+
+let lookup t w seq =
+  if seq < 0 then invalid_arg "Dedup: negative seq";
+  if w.high >= 0 && seq <= w.high - t.window then `Old
+  else if seq <= w.high then
+    if Bytes.get w.bits (idx t seq) = '\001' then `Seen else `Fresh
+  else `Ahead
+
+let record t w seq =
+  if seq > w.high then begin
+    (* Slide the window forward, clearing slots for sequence numbers that
+       now fall inside it but were never recorded. *)
+    let from = max (w.high + 1) (seq - t.window + 1) in
+    for s = from to seq - 1 do
+      Bytes.set w.bits (idx t s) '\000'
+    done;
+    w.high <- seq
+  end;
+  Bytes.set w.bits (idx t seq) '\001'
+
+let seen t flow seq =
+  let w = get_window t flow in
+  match lookup t w seq with
+  | `Old -> true
+  | `Seen -> true
+  | `Fresh | `Ahead ->
+    record t w seq;
+    false
+
+let peek t flow seq =
+  match FlowMap.find_opt flow t.map with
+  | None -> false
+  | Some w -> ( match lookup t w seq with `Old | `Seen -> true | `Fresh | `Ahead -> false)
+
+let flows t = FlowMap.cardinal t.map

@@ -1,0 +1,214 @@
+open Strovl_sim
+
+type config = { k : int; r : int; flush : Time.t }
+
+let default_config = { k = 8; r = 2; flush = Time.ms 20 }
+
+(* Receiver-side per-block decode state. [block] ids are the first data
+   lseq of the block, so the block's lseqs are [block .. block+count-1]. *)
+type block_state = {
+  bs_pkts : Packet.t array;
+  bs_have : bool array; (* data symbols present *)
+  mutable bs_parities : int; (* parity symbols received *)
+  mutable bs_done : bool;
+}
+
+type t = {
+  ctx : Lproto.ctx;
+  cfg : config;
+  cls : int;
+  (* sender *)
+  mutable next_lseq : int;
+  mutable cur : (int * Packet.t) list; (* current block, newest first *)
+  mutable flush_timer : Engine.handle option;
+  mutable n_sent : int;
+  mutable n_parity : int;
+  mutable data_bytes : int;
+  mutable parity_bytes : int;
+  (* receiver *)
+  seen : (int, unit) Hashtbl.t;
+  mutable recv_floor : int; (* lseqs <= floor are old news *)
+  mutable recv_high : int;
+  blocks : (int, block_state) Hashtbl.t;
+  mutable n_recovered : int;
+  mutable n_up : int;
+}
+
+let create ?(config = default_config) ctx =
+  if config.k < 1 || config.r < 1 then invalid_arg "Fec_link: k and r must be >= 1";
+  {
+    ctx;
+    cfg = config;
+    cls = Packet.service_class (Packet.Fec { fec_k = config.k; fec_r = config.r });
+    next_lseq = 0;
+    cur = [];
+    flush_timer = None;
+    n_sent = 0;
+    n_parity = 0;
+    data_bytes = 0;
+    parity_bytes = 0;
+    seen = Hashtbl.create 64;
+    recv_floor = 0;
+    recv_high = 0;
+    blocks = Hashtbl.create 8;
+    n_recovered = 0;
+    n_up = 0;
+  }
+
+(* ------------------------------ sender ------------------------------- *)
+
+let cancel_flush t =
+  match t.flush_timer with
+  | Some h ->
+    Engine.cancel h;
+    t.flush_timer <- None
+  | None -> ()
+
+let emit_parity t =
+  cancel_flush t;
+  match List.rev t.cur with
+  | [] -> ()
+  | ((base, _) :: _ as items) ->
+    let pkts = List.map snd items in
+    let symbol_bytes =
+      List.fold_left (fun acc p -> max acc p.Packet.bytes) 0 pkts
+    in
+    for idx = 0 to t.cfg.r - 1 do
+      let msg =
+        Msg.Fec_parity
+          { block = base; idx; k = List.length pkts; bytes = symbol_bytes; blk_pkts = pkts }
+      in
+      t.n_parity <- t.n_parity + 1;
+      t.parity_bytes <- t.parity_bytes + Msg.bytes msg;
+      t.ctx.Lproto.xmit msg
+    done;
+    t.cur <- []
+
+let send t pkt =
+  t.next_lseq <- t.next_lseq + 1;
+  let lseq = t.next_lseq in
+  let msg = Msg.Data { cls = t.cls; lseq; pkt; auth = None } in
+  t.n_sent <- t.n_sent + 1;
+  t.data_bytes <- t.data_bytes + Msg.bytes msg;
+  t.ctx.Lproto.xmit msg;
+  t.cur <- (lseq, pkt) :: t.cur;
+  if List.length t.cur >= t.cfg.k then emit_parity t
+  else begin
+    cancel_flush t;
+    t.flush_timer <-
+      Some
+        (Engine.schedule t.ctx.Lproto.engine ~delay:t.cfg.flush (fun () ->
+             t.flush_timer <- None;
+             emit_parity t))
+  end
+
+(* ------------------------------ receiver ----------------------------- *)
+
+let is_seen t lseq = lseq <= t.recv_floor || Hashtbl.mem t.seen lseq
+
+(* Bound receiver state: blocks older than ~8 windows of k+history slide
+   out, unrecoverable or not. *)
+let compact t =
+  let window = 64 * t.cfg.k in
+  let new_floor = t.recv_high - window in
+  if new_floor > t.recv_floor then begin
+    for l = t.recv_floor + 1 to new_floor do
+      Hashtbl.remove t.seen l
+    done;
+    Hashtbl.iter
+      (fun base bs -> if base + Array.length bs.bs_pkts <= new_floor then bs.bs_done <- true)
+      t.blocks;
+    let stale =
+      Hashtbl.fold
+        (fun base bs acc -> if bs.bs_done then base :: acc else acc)
+        t.blocks []
+    in
+    List.iter (Hashtbl.remove t.blocks) stale;
+    t.recv_floor <- new_floor
+  end
+
+let deliver t pkt =
+  t.n_up <- t.n_up + 1;
+  t.ctx.Lproto.up pkt
+
+(* If enough symbols of the block are present, reconstruct and deliver the
+   missing data packets (any k of k+r symbols suffice: MDS model). *)
+let try_decode t base bs =
+  if not bs.bs_done then begin
+    let missing = ref [] in
+    Array.iteri
+      (fun i have -> if not have then missing := i :: !missing)
+      bs.bs_have;
+    let nmiss = List.length !missing in
+    if nmiss = 0 then bs.bs_done <- true
+    else if nmiss <= bs.bs_parities then begin
+      bs.bs_done <- true;
+      List.iter
+        (fun i ->
+          let lseq = base + i in
+          if not (is_seen t lseq) then begin
+            Hashtbl.replace t.seen lseq ();
+            t.n_recovered <- t.n_recovered + 1;
+            deliver t bs.bs_pkts.(i)
+          end)
+        (List.rev !missing)
+    end
+  end
+
+let block_for t base pkts =
+  match Hashtbl.find_opt t.blocks base with
+  | Some bs -> bs
+  | None ->
+    let arr = Array.of_list pkts in
+    let bs =
+      {
+        bs_pkts = arr;
+        bs_have = Array.init (Array.length arr) (fun i -> is_seen t (base + i));
+        bs_parities = 0;
+        bs_done = false;
+      }
+    in
+    Hashtbl.replace t.blocks base bs;
+    bs
+
+let handle_data t lseq pkt =
+  if not (is_seen t lseq) then begin
+    Hashtbl.replace t.seen lseq ();
+    if lseq > t.recv_high then t.recv_high <- lseq;
+    (* If this block is already being tracked (parity arrived first or
+       out-of-order data), update it. *)
+    Hashtbl.iter
+      (fun base bs ->
+        if lseq >= base && lseq < base + Array.length bs.bs_pkts then begin
+          bs.bs_have.(lseq - base) <- true;
+          try_decode t base bs
+        end)
+      t.blocks;
+    compact t;
+    deliver t pkt
+  end
+
+let handle_parity t ~block ~k ~blk_pkts =
+  if List.length blk_pkts = k && k > 0 && block > t.recv_floor then begin
+    if block + k - 1 > t.recv_high then t.recv_high <- block + k - 1;
+    let bs = block_for t block blk_pkts in
+    bs.bs_parities <- bs.bs_parities + 1;
+    try_decode t block bs;
+    compact t
+  end
+
+let recv t = function
+  | Msg.Data { lseq; pkt; _ } -> handle_data t lseq pkt
+  | Msg.Fec_parity { block; k; blk_pkts; _ } -> handle_parity t ~block ~k ~blk_pkts
+  | Msg.Link_ack _ | Msg.Link_nack _ | Msg.Rt_request _ | Msg.It_ack _
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+    ()
+
+let sent t = t.n_sent
+let parity_sent t = t.n_parity
+let recovered t = t.n_recovered
+let delivered_up t = t.n_up
+
+let wire_overhead t =
+  if t.data_bytes = 0 then 1.0
+  else float_of_int (t.data_bytes + t.parity_bytes) /. float_of_int t.data_bytes

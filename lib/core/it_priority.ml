@@ -1,0 +1,145 @@
+open Strovl_sim
+
+type mode = Round_robin | Fifo
+
+type config = { mode : mode; per_source_cap : int; fifo_cap : int }
+
+let default_config = { mode = Round_robin; per_source_cap = 64; fifo_cap = 512 }
+
+type t = {
+  ctx : Lproto.ctx;
+  cfg : config;
+  (* Per-source FIFO buffers (in Fifo mode a single pseudo-source -1 is
+     used). Lists kept in arrival order, head = oldest. *)
+  queues : (int, Packet.t list ref) Hashtbl.t;
+  rotation : int Queue.t; (* sources with queued packets, round-robin order *)
+  in_rotation : (int, unit) Hashtbl.t;
+  mutable busy : bool;
+  mutable lseq : int;
+  sent : (int, int) Hashtbl.t;
+  dropped : (int, int) Hashtbl.t;
+  mutable n_sent : int;
+  mutable n_dropped : int;
+}
+
+let create ?(config = default_config) ctx =
+  {
+    ctx;
+    cfg = config;
+    queues = Hashtbl.create 16;
+    rotation = Queue.create ();
+    in_rotation = Hashtbl.create 16;
+    busy = false;
+    lseq = 0;
+    sent = Hashtbl.create 16;
+    dropped = Hashtbl.create 16;
+    n_sent = 0;
+    n_dropped = 0;
+  }
+
+let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let source_of pkt =
+  pkt.Packet.flow.Packet.f_src
+
+let priority_of pkt =
+  match pkt.Packet.service with Packet.It_priority p -> p | _ -> 0
+
+let queue t key =
+  match Hashtbl.find_opt t.queues key with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.replace t.queues key q;
+    q
+
+let enter_rotation t key =
+  if not (Hashtbl.mem t.in_rotation key) then begin
+    Hashtbl.replace t.in_rotation key ();
+    Queue.add key t.rotation
+  end
+
+(* Remove the oldest message having the minimum priority in the queue,
+   charging the drop to the evicted packet's source. *)
+let evict_oldest_lowest t q =
+  match !q with
+  | [] -> ()
+  | items ->
+    let min_prio = List.fold_left (fun acc p -> min acc (priority_of p)) max_int items in
+    let victim = ref None in
+    let rec remove_first = function
+      | [] -> []
+      | p :: rest when !victim = None && priority_of p = min_prio ->
+        victim := Some p;
+        rest
+      | p :: rest -> p :: remove_first rest
+    in
+    q := remove_first items;
+    (match !victim with
+    | Some p ->
+      t.n_dropped <- t.n_dropped + 1;
+      bump t.dropped (source_of p)
+    | None -> ())
+
+let rec service t =
+  if not t.busy then begin
+    match Queue.take_opt t.rotation with
+    | None -> ()
+    | Some key -> begin
+      Hashtbl.remove t.in_rotation key;
+      let q = queue t key in
+      match !q with
+      | [] -> service t (* source drained meanwhile *)
+      | pkt :: rest ->
+        q := rest;
+        if rest <> [] then enter_rotation t key;
+        t.lseq <- t.lseq + 1;
+        t.n_sent <- t.n_sent + 1;
+        bump t.sent (source_of pkt);
+        let msg =
+          Msg.Data
+            {
+              cls = Packet.service_class pkt.Packet.service;
+              lseq = t.lseq;
+              pkt;
+              auth = None;
+            }
+        in
+        t.ctx.Lproto.xmit msg;
+        t.busy <- true;
+        (* Self-pace at link bandwidth so round robin, not the NIC FIFO,
+           decides ordering under load. *)
+        ignore
+          (Engine.schedule t.ctx.Lproto.engine
+             ~delay:(Lproto.tx_time t.ctx (Msg.bytes msg))
+             (fun () ->
+               t.busy <- false;
+               service t))
+    end
+  end
+
+let send t pkt =
+  let key = match t.cfg.mode with Round_robin -> source_of pkt | Fifo -> -1 in
+  let cap =
+    match t.cfg.mode with
+    | Round_robin -> t.cfg.per_source_cap
+    | Fifo -> t.cfg.fifo_cap
+  in
+  let q = queue t key in
+  q := !q @ [ pkt ];
+  if List.length !q > cap then evict_oldest_lowest t q;
+  if !q <> [] then enter_rotation t key;
+  service t
+
+let recv t = function
+  | Msg.Data { pkt; _ } -> t.ctx.Lproto.up pkt
+  | _ -> ()
+
+let sent_for t ~source = Option.value ~default:0 (Hashtbl.find_opt t.sent source)
+let dropped_for t ~source = Option.value ~default:0 (Hashtbl.find_opt t.dropped source)
+let total_sent t = t.n_sent
+let total_dropped t = t.n_dropped
+
+let queue_len t ~source =
+  let key = match t.cfg.mode with Round_robin -> source | Fifo -> -1 in
+  match Hashtbl.find_opt t.queues key with None -> 0 | Some q -> List.length !q

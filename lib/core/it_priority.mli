@@ -1,0 +1,48 @@
+(** Intrusion-Tolerant Priority messaging (§IV-B).
+
+    Timely, as-reliable-as-conditions-allow forwarding that a compromised
+    source cannot starve: the outgoing side of each overlay link keeps a
+    separate bounded buffer *per source overlay node* and serves active
+    sources in round robin, so a flooding source only ever consumes its own
+    share of the link. When a source's buffer fills, the *oldest
+    lowest-priority* message of that source is dropped, keeping the highest
+    priority messages timely.
+
+    A [Fifo] mode implements the non-intrusion-tolerant baseline (single
+    shared drop-tail queue) that the fairness experiment contrasts against.
+
+    Transmission is self-paced at the link bandwidth, so the scheduling
+    decision — which source's packet goes next — is made here and not in the
+    underlying FIFO of the network interface. *)
+
+type t
+
+type mode =
+  | Round_robin  (** the paper's fair scheduler *)
+  | Fifo  (** baseline: one shared queue, drop-tail *)
+
+type config = {
+  mode : mode;
+  per_source_cap : int;  (** buffer per source (packets), Round_robin mode *)
+  fifo_cap : int;  (** total buffer (packets), Fifo mode *)
+}
+
+val default_config : config
+(** Round-robin, 64 packets per source, 512 fifo. *)
+
+val create : ?config:config -> Lproto.ctx -> t
+
+val send : t -> Packet.t -> unit
+(** Enqueue for transmission on this link. Never refuses; overflow follows
+    the drop policy. The packet's priority is taken from its
+    [It_priority p] service. *)
+
+val recv : t -> Msg.t -> unit
+
+val sent_for : t -> source:int -> int
+(** Packets of the given source overlay node actually transmitted. *)
+
+val dropped_for : t -> source:int -> int
+val total_sent : t -> int
+val total_dropped : t -> int
+val queue_len : t -> source:int -> int

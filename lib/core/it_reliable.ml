@@ -1,0 +1,190 @@
+open Strovl_sim
+
+module FlowMap = Map.Make (struct
+  type t = Packet.flow
+
+  let compare = Packet.flow_compare
+end)
+
+type config = { flow_cap : int; rto : Time.t option; max_backoff : int }
+
+let default_config = { flow_cap = 32; rto = None; max_backoff = 6 }
+
+type entry = {
+  e_pkt : Packet.t;
+  mutable e_lseq : int; (* -1 until first transmission *)
+  mutable e_retries : int;
+  mutable e_inflight : bool;
+  mutable e_timer : Engine.handle option;
+  mutable e_done : bool;
+}
+
+type t = {
+  ctx : Lproto.ctx;
+  cfg : config;
+  cls : int;
+  mutable flows : entry list ref FlowMap.t; (* per-flow buffer, oldest first *)
+  rotation : Packet.flow Queue.t;
+  in_rotation : (Packet.flow, unit) Hashtbl.t;
+  by_lseq : (int, Packet.flow * entry) Hashtbl.t;
+  mutable busy : bool;
+  mutable next_lseq : int;
+  sent : (int, int) Hashtbl.t;
+  mutable n_retrans : int;
+  mutable n_acked : int;
+}
+
+let create ?(config = default_config) ctx =
+  {
+    ctx;
+    cfg = config;
+    cls = Packet.service_class Packet.It_reliable;
+    flows = FlowMap.empty;
+    rotation = Queue.create ();
+    in_rotation = Hashtbl.create 16;
+    by_lseq = Hashtbl.create 64;
+    busy = false;
+    next_lseq = 0;
+    sent = Hashtbl.create 16;
+    n_retrans = 0;
+    n_acked = 0;
+  }
+
+let base_rto t =
+  match t.cfg.rto with
+  | Some d -> d
+  | None -> Time.max (Time.ms 5) (3 * t.ctx.Lproto.rtt_hint)
+
+let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let flow_queue t flow =
+  match FlowMap.find_opt flow t.flows with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    t.flows <- FlowMap.add flow q t.flows;
+    q
+
+let enter_rotation t flow =
+  if not (Hashtbl.mem t.in_rotation flow) then begin
+    Hashtbl.replace t.in_rotation flow ();
+    Queue.add flow t.rotation
+  end
+
+let has_sendable q = List.exists (fun e -> (not e.e_inflight) && not e.e_done) !q
+
+(* Transmit one entry: assign an lseq on first send, arm its retransmission
+   timer, and pace the scheduler at link bandwidth. *)
+let rec transmit t flow e =
+  if e.e_lseq < 0 then begin
+    t.next_lseq <- t.next_lseq + 1;
+    e.e_lseq <- t.next_lseq;
+    bump t.sent flow.Packet.f_src
+  end
+  else t.n_retrans <- t.n_retrans + 1;
+  Hashtbl.replace t.by_lseq e.e_lseq (flow, e);
+  e.e_inflight <- true;
+  let msg = Msg.Data { cls = t.cls; lseq = e.e_lseq; pkt = e.e_pkt; auth = None } in
+  t.ctx.Lproto.xmit msg;
+  let backoff =
+    let shift = min e.e_retries t.cfg.max_backoff in
+    base_rto t * (1 lsl shift)
+  in
+  e.e_timer <-
+    Some
+      (Engine.schedule t.ctx.Lproto.engine ~delay:backoff (fun () ->
+           e.e_timer <- None;
+           if not e.e_done then begin
+             (* Not acked in time: the next hop dropped it or refused it
+                (backpressure). Requeue for another round-robin turn. *)
+             e.e_inflight <- false;
+             e.e_retries <- e.e_retries + 1;
+             enter_rotation t flow;
+             service t
+           end));
+  t.busy <- true;
+  ignore
+    (Engine.schedule t.ctx.Lproto.engine ~delay:(Lproto.tx_time t.ctx (Msg.bytes msg))
+       (fun () ->
+         t.busy <- false;
+         service t))
+
+and service t =
+  if not t.busy then begin
+    match Queue.take_opt t.rotation with
+    | None -> ()
+    | Some flow -> begin
+      Hashtbl.remove t.in_rotation flow;
+      let q = flow_queue t flow in
+      match List.find_opt (fun e -> (not e.e_inflight) && not e.e_done) !q with
+      | None -> service t
+      | Some e ->
+        (* Re-enter the rotation if more remains to send for this flow. *)
+        if List.exists (fun e' -> e' != e && (not e'.e_inflight) && not e'.e_done) !q
+        then enter_rotation t flow;
+        transmit t flow e
+    end
+  end
+
+let can_accept t ~flow =
+  match FlowMap.find_opt flow t.flows with
+  | None -> t.cfg.flow_cap > 0
+  | Some q -> List.length !q < t.cfg.flow_cap
+
+let offer t pkt =
+  let flow = pkt.Packet.flow in
+  let q = flow_queue t flow in
+  if List.length !q >= t.cfg.flow_cap then false
+  else begin
+    let e =
+      {
+        e_pkt = pkt;
+        e_lseq = -1;
+        e_retries = 0;
+        e_inflight = false;
+        e_timer = None;
+        e_done = false;
+      }
+    in
+    q := !q @ [ e ];
+    enter_rotation t flow;
+    service t;
+    true
+  end
+
+let handle_ack t lseq =
+  match Hashtbl.find_opt t.by_lseq lseq with
+  | None -> ()
+  | Some (flow, e) ->
+    if not e.e_done then begin
+      e.e_done <- true;
+      t.n_acked <- t.n_acked + 1;
+      (match e.e_timer with Some h -> Engine.cancel h | None -> ());
+      e.e_timer <- None;
+      Hashtbl.remove t.by_lseq lseq;
+      let q = flow_queue t flow in
+      q := List.filter (fun e' -> e' != e) !q;
+      if has_sendable q then begin
+        enter_rotation t flow;
+        service t
+      end
+    end
+
+let handle_data t lseq pkt =
+  (* Acceptance is the node's decision: room in all onward buffers (or
+     local delivery). Only accepted packets are acked — a lost or withheld
+     ack is exactly the backpressure mechanism. *)
+  if t.ctx.Lproto.try_up pkt then t.ctx.Lproto.xmit (Msg.It_ack { lseq })
+
+let recv t = function
+  | Msg.Data { lseq; pkt; _ } -> handle_data t lseq pkt
+  | Msg.It_ack { lseq } -> handle_ack t lseq
+  | _ -> ()
+
+let buffered t ~flow =
+  match FlowMap.find_opt flow t.flows with None -> 0 | Some q -> List.length !q
+
+let total_buffered t = FlowMap.fold (fun _ q acc -> acc + List.length !q) t.flows 0
+let sent_for t ~source = Option.value ~default:0 (Hashtbl.find_opt t.sent source)
+let retransmissions t = t.n_retrans
+let acked t = t.n_acked

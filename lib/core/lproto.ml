@@ -1,0 +1,25 @@
+(** Shared plumbing for link-level protocols (Figure 2, bottom layer).
+
+    Each overlay link endpoint instantiates one protocol state machine per
+    service class in use; flows of the same class are aggregated on the link
+    (§II-C). The node wires each instance to the link with this context. *)
+
+type ctx = {
+  engine : Strovl_sim.Engine.t;
+  xmit : Msg.t -> unit;
+      (** transmit a wire message to the peer endpoint of this link *)
+  up : Packet.t -> unit;
+      (** hand a received data packet up to the node's routing level *)
+  try_up : Packet.t -> bool;
+      (** like [up] but refusable — IT-Reliable uses the refusal to create
+          hop-by-hop backpressure (§IV-B); returns acceptance *)
+  bandwidth_bps : int;  (** the link's access bandwidth, for self-pacing *)
+  rtt_hint : Strovl_sim.Time.t;
+      (** the link's round-trip estimate, for retransmission timers *)
+}
+
+(** Serialization time of [bytes] at the context's bandwidth (µs, ≥1). *)
+let tx_time ctx bytes =
+  max 1
+    (int_of_float
+       (Float.round (float_of_int (bytes * 8) *. 1e6 /. float_of_int ctx.bandwidth_bps)))

@@ -1,0 +1,89 @@
+type node = int
+
+type link_info = { li_up : bool; li_metric : int; li_loss : int }
+
+type t =
+  | Data of { cls : int; lseq : int; pkt : Packet.t; auth : int64 option }
+  | Link_ack of { cls : int; cum : int }
+  | Link_nack of { cls : int; missing : int list }
+  | Rt_request of { lseq : int }
+  | It_ack of { lseq : int }
+  | Fec_parity of {
+      block : int;
+      idx : int;
+      k : int;
+      bytes : int;
+      blk_pkts : Packet.t list;
+    }
+  | Hello of { hseq : int; sent_at : Strovl_sim.Time.t }
+  | Hello_ack of { hseq : int; echo : Strovl_sim.Time.t }
+  | Lsu of {
+      origin : node;
+      lsu_seq : int;
+      links : (int * link_info) list;
+      auth : int64 option;
+    }
+  | Group_update of {
+      origin : node;
+      gseq : int;
+      memb : (int * bool) list;
+      auth : int64 option;
+    }
+
+let auth_bytes = function Some _ -> 8 | None -> 0
+
+let bytes = function
+  | Data { pkt; auth; _ } ->
+    (* link-protocol framing: class + lseq *)
+    6 + Packet.header_bytes pkt + pkt.Packet.bytes + auth_bytes auth
+  | Link_ack _ -> 10
+  | Link_nack { missing; _ } -> 8 + (4 * List.length missing)
+  | Rt_request _ -> 8
+  | It_ack _ -> 8
+  | Fec_parity { bytes; _ } -> 16 + bytes
+  | Hello _ -> 16
+  | Hello_ack _ -> 16
+  | Lsu { links; auth; _ } -> 12 + (8 * List.length links) + auth_bytes auth
+  | Group_update { memb; auth; _ } -> 12 + (5 * List.length memb) + auth_bytes auth
+
+let signable = function
+  | Lsu { origin; lsu_seq; links; _ } ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "lsu/%d/%d" origin lsu_seq);
+    List.iter
+      (fun (l, i) ->
+        Buffer.add_string b
+          (Printf.sprintf "/%d:%b:%d:%d" l i.li_up i.li_metric i.li_loss))
+      links;
+    Buffer.contents b
+  | Group_update { origin; gseq; memb; _ } ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b (Printf.sprintf "grp/%d/%d" origin gseq);
+    List.iter (fun (g, m) -> Buffer.add_string b (Printf.sprintf "/%d:%b" g m)) memb;
+    Buffer.contents b
+  | Data { pkt; _ } ->
+    let f = pkt.Packet.flow in
+    Printf.sprintf "data/%d/%d/%d/%d" f.Packet.f_src f.Packet.f_sport
+      pkt.Packet.seq pkt.Packet.bytes
+  | Link_ack _ | Link_nack _ | Rt_request _ | It_ack _ | Fec_parity _
+  | Hello _ | Hello_ack _ ->
+    invalid_arg "Msg.signable: hop-local message"
+
+let pp ppf = function
+  | Data { cls; lseq; pkt; _ } ->
+    Format.fprintf ppf "data(c%d,l%d,%a)" cls lseq Packet.pp pkt
+  | Link_ack { cls; cum } -> Format.fprintf ppf "ack(c%d,<=%d)" cls cum
+  | Link_nack { cls; missing } ->
+    Format.fprintf ppf "nack(c%d,%d missing)" cls (List.length missing)
+  | Rt_request { lseq } -> Format.fprintf ppf "rt-req(%d)" lseq
+  | It_ack { lseq } -> Format.fprintf ppf "it-ack(%d)" lseq
+  | Fec_parity { block; idx; k; _ } ->
+    Format.fprintf ppf "fec-parity(b%d,#%d,k=%d)" block idx k
+  | Hello { hseq; _ } -> Format.fprintf ppf "hello(%d)" hseq
+  | Hello_ack { hseq; _ } -> Format.fprintf ppf "hello-ack(%d)" hseq
+  | Lsu { origin; lsu_seq; links; _ } ->
+    Format.fprintf ppf "lsu(from %d,#%d,%d links)" origin lsu_seq
+      (List.length links)
+  | Group_update { origin; gseq; memb; _ } ->
+    Format.fprintf ppf "grp(from %d,#%d,%d entries)" origin gseq
+      (List.length memb)

@@ -1,0 +1,670 @@
+open Strovl_sim
+module Graph = Strovl_topo.Graph
+module Bitmask = Strovl_topo.Bitmask
+module Auth = Strovl_crypto.Auth
+
+type config = {
+  hello_interval : Time.t;
+  hello_timeout : Time.t;
+  lsu_refresh : Time.t;
+  proc_delay : Time.t;
+  proc_rate_pps : int option;
+  cluster_size : int;
+  cpu_queue : Time.t;
+  reliable : Reliable_link.config;
+  realtime : Realtime_link.config;
+  it_priority : It_priority.config;
+  it_reliable : It_reliable.config;
+  fec : Fec_link.config;
+  authenticate : bool;
+  loss_aware_routing : bool;
+}
+
+let default_config =
+  {
+    hello_interval = Time.ms 100;
+    hello_timeout = Time.ms 350;
+    lsu_refresh = Time.sec 10;
+    proc_delay = Time.us 50;
+    proc_rate_pps = None;
+    cluster_size = 1;
+    cpu_queue = Time.ms 20;
+    reliable = Reliable_link.default_config;
+    realtime = Realtime_link.default_config;
+    it_priority = It_priority.default_config;
+    it_reliable = It_reliable.default_config;
+    fec = Fec_link.default_config;
+    authenticate = false;
+    loss_aware_routing = false;
+  }
+
+type counters = {
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable dropped_no_route : int;
+  mutable dropped_ttl : int;
+  mutable dropped_auth : int;
+  mutable dropped_dup : int;
+  mutable dropped_backpressure : int;
+  mutable dropped_overload : int;
+  mutable lsu_floods : int;
+  mutable group_floods : int;
+}
+
+type proto =
+  | P_best of Best_effort.t
+  | P_rel of Reliable_link.t
+  | P_rt of Realtime_link.t
+  | P_itp of It_priority.t
+  | P_itr of It_reliable.t
+  | P_fec of Fec_link.t
+
+type endpoint = {
+  ep_link : int;
+  ep_neighbor : int;
+  ep_bandwidth : int;
+  ep_xmit : Msg.t -> unit;
+  ep_protos : proto option array;
+  mutable ep_last_heard : Time.t;
+  mutable ep_rtt : Time.t;
+  mutable ep_hello_pending : (int * Time.t) list;
+  mutable ep_hello_seq : int;
+  (* Loss estimation from hello round trips (window counters + EWMA). *)
+  mutable ep_hello_window_sent : int;
+  mutable ep_hello_window_acked : int;
+  mutable ep_loss_est : int; (* permille *)
+  mutable ep_last_suspect : Time.t;
+}
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  cfg : config;
+  graph : Graph.t;
+  conn_graph : Conn_graph.t;
+  group_state : Group.t;
+  routing : Route.t;
+  registry : Auth.registry option;
+  endpoints : (int, endpoint) Hashtbl.t; (* by link id *)
+  sessions : (int, Packet.t -> unit) Hashtbl.t; (* by port *)
+  dedup : Dedup.t;
+  ctrs : counters;
+  mutable suspect_hook : int -> unit;
+  mutable started : bool;
+  mutable cpu_busy_until : Time.t; (* finite-capacity CPU server (§II-D) *)
+}
+
+let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
+  let conn_graph = Conn_graph.create ~self:id graph ~metric in
+  Conn_graph.use_effective_metric conn_graph config.loss_aware_routing;
+  let group_state = Group.create ~self:id ~nnodes:(Graph.n graph) in
+  {
+    id;
+    engine;
+    cfg = config;
+    graph;
+    conn_graph;
+    group_state;
+    routing = Route.create conn_graph group_state;
+    registry = (if config.authenticate then registry else None);
+    endpoints = Hashtbl.create 8;
+    sessions = Hashtbl.create 8;
+    dedup = Dedup.create ();
+    ctrs =
+      {
+        forwarded = 0;
+        delivered = 0;
+        dropped_no_route = 0;
+        dropped_ttl = 0;
+        dropped_auth = 0;
+        dropped_dup = 0;
+        dropped_backpressure = 0;
+        dropped_overload = 0;
+        lsu_floods = 0;
+        group_floods = 0;
+      };
+    suspect_hook = (fun _ -> ());
+    started = false;
+    cpu_busy_until = Time.zero;
+  }
+
+let id t = t.id
+let config t = t.cfg
+let conn t = t.conn_graph
+let group t = t.group_state
+let route t = t.routing
+let counters t = t.ctrs
+let engine t = t.engine
+let set_link_suspect_hook t f = t.suspect_hook <- f
+
+(* ------------------------------------------------------------------ *)
+(* Flooded shared state: signing and propagation                       *)
+(* ------------------------------------------------------------------ *)
+
+let sign_flood t msg =
+  match t.registry with
+  | None -> msg
+  | Some reg ->
+    let tag = Auth.sign reg ~node:t.id (Msg.signable msg) in
+    (match msg with
+    | Msg.Lsu l -> Msg.Lsu { l with auth = Some tag }
+    | Msg.Group_update g -> Msg.Group_update { g with auth = Some tag }
+    | other -> other)
+
+let verify_flood t ~origin msg auth =
+  match t.registry with
+  | None -> true
+  | Some reg -> (
+    match auth with
+    | None -> false
+    | Some tag ->
+      (* Verify against the unsigned canonical form. *)
+      let unsigned =
+        match msg with
+        | Msg.Lsu l -> Msg.Lsu { l with auth = None }
+        | Msg.Group_update g -> Msg.Group_update { g with auth = None }
+        | other -> other
+      in
+      Auth.verify_sign reg ~node:origin (Msg.signable unsigned) tag)
+
+let flood t ?except msg =
+  Hashtbl.iter
+    (fun l ep -> if Some l <> except then ep.ep_xmit msg)
+    t.endpoints
+
+let flood_local_update t msg_opt =
+  match msg_opt with
+  | None -> ()
+  | Some msg ->
+    (match msg with
+    | Msg.Lsu _ -> t.ctrs.lsu_floods <- t.ctrs.lsu_floods + 1
+    | Msg.Group_update _ -> t.ctrs.group_floods <- t.ctrs.group_floods + 1
+    | _ -> ());
+    flood t (sign_flood t msg)
+
+(* ------------------------------------------------------------------ *)
+(* Routing decisions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_local t pkt ~port =
+  match Hashtbl.find_opt t.sessions port with
+  | None -> ()
+  | Some deliver ->
+    t.ctrs.delivered <- t.ctrs.delivered + 1;
+    deliver pkt
+
+(* Ports at this node that must receive the packet. *)
+let local_ports_for t pkt =
+  match pkt.Packet.flow.Packet.f_dest with
+  | Packet.To_node n when n = t.id -> [ pkt.Packet.flow.Packet.f_dport ]
+  | Packet.To_node _ -> []
+  | Packet.To_group g ->
+    if Group.has_local t.group_state ~group:g then
+      Group.local_ports t.group_state ~group:g
+    else []
+  | Packet.Any_of_group g ->
+    if Route.anycast_target t.routing ~group:g = Some t.id then begin
+      match Group.local_ports t.group_state ~group:g with
+      | [] -> []
+      | p :: _ -> [ p ]
+    end
+    else []
+
+(* Links this node must forward the packet on (routing level, §II-B). *)
+let out_links_for t pkt ~from_link =
+  let unicast_hop dst =
+    if dst = t.id then []
+    else begin
+      match Route.next_hop t.routing ~dst with
+      | Some (_, l) -> [ l ]
+      | None ->
+        t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
+        []
+    end
+  in
+  match pkt.Packet.routing with
+  | Packet.Link_state -> begin
+    match pkt.Packet.flow.Packet.f_dest with
+    | Packet.To_node dst -> unicast_hop dst
+    | Packet.To_group g ->
+      (* Trees are rooted at the overlay ingress node: all nodes compute the
+         same tree from shared state, and forwarding stays loop-free even
+         for flows re-originated mid-network (compound flows, §V-C). *)
+      let root =
+        if pkt.Packet.ingress >= 0 then pkt.Packet.ingress
+        else pkt.Packet.flow.Packet.f_src
+      in
+      List.filter
+        (fun l -> l <> from_link)
+        (Route.mcast_out_links t.routing ~source:root ~group:g)
+    | Packet.Any_of_group g -> begin
+      match Route.anycast_target t.routing ~group:g with
+      | Some target when target <> t.id -> unicast_hop target
+      | Some _ -> []
+      | None ->
+        t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
+        []
+    end
+  end
+  | Packet.Source_mask mask ->
+    List.filter
+      (fun l -> l <> from_link && Bitmask.mem mask l && Hashtbl.mem t.endpoints l)
+      (Graph.incident t.graph t.id)
+
+(* ------------------------------------------------------------------ *)
+(* CPU model (§II-D)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cpu_service_time t =
+  match t.cfg.proc_rate_pps with
+  | None -> None
+  | Some rate -> Some (max 1 (1_000_000 / (rate * max 1 t.cfg.cluster_size)))
+
+(* Run [work] once the node's CPU has processed the packet: either a flat
+   per-packet cost (unbounded capacity) or a serial server at the cluster's
+   aggregate rate, with overload drops beyond the CPU queue. *)
+let charge_cpu t work =
+  match cpu_service_time t with
+  | None -> ignore (Engine.schedule t.engine ~delay:t.cfg.proc_delay work)
+  | Some service ->
+    let now = Engine.now t.engine in
+    let start = Time.max now t.cpu_busy_until in
+    if Time.sub start now > t.cfg.cpu_queue then
+      t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1
+    else begin
+      t.cpu_busy_until <- Time.add start service;
+      ignore (Engine.schedule_at t.engine ~at:t.cpu_busy_until work)
+    end
+
+(* Synchronous admission for IT-Reliable acceptance: an overloaded CPU
+   refuses (backpressure) instead of queueing. *)
+let cpu_admit t =
+  match cpu_service_time t with
+  | None -> true
+  | Some service ->
+    let now = Engine.now t.engine in
+    let start = Time.max now t.cpu_busy_until in
+    if Time.sub start now > t.cfg.cpu_queue then begin
+      t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1;
+      false
+    end
+    else begin
+      t.cpu_busy_until <- Time.add start service;
+      true
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Link protocol instances                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec get_proto t ep cls =
+  match ep.ep_protos.(cls) with
+  | Some p -> p
+  | None ->
+    let ctx =
+      {
+        Lproto.engine = t.engine;
+        xmit = ep.ep_xmit;
+        up =
+          (fun pkt ->
+            (* Per-packet CPU cost of traversing the stack (§II-D). *)
+            charge_cpu t (fun () -> forward t ~from_link:ep.ep_link pkt));
+        try_up = (fun pkt -> try_accept t ~from_link:ep.ep_link pkt);
+        bandwidth_bps = ep.ep_bandwidth;
+        rtt_hint = ep.ep_rtt;
+      }
+    in
+    let p =
+      if cls = Packet.service_class Packet.Best_effort then
+        P_best (Best_effort.create ctx)
+      else if cls = Packet.service_class Packet.Reliable then
+        P_rel (Reliable_link.create ~config:t.cfg.reliable ctx)
+      else if cls = Packet.service_class (Packet.It_priority 0) then
+        P_itp (It_priority.create ~config:t.cfg.it_priority ctx)
+      else if cls = Packet.service_class Packet.It_reliable then
+        P_itr (It_reliable.create ~config:t.cfg.it_reliable ctx)
+      else if cls = Packet.service_class (Packet.Fec { fec_k = 1; fec_r = 1 })
+      then P_fec (Fec_link.create ~config:t.cfg.fec ctx)
+      else P_rt (Realtime_link.create ~config:t.cfg.realtime ctx)
+    in
+    ep.ep_protos.(cls) <- Some p;
+    p
+
+and send_on t ep pkt =
+  let pkt = Packet.next_hop_copy pkt in
+  t.ctrs.forwarded <- t.ctrs.forwarded + 1;
+  match get_proto t ep (Packet.service_class pkt.Packet.service) with
+  | P_best p -> Best_effort.send p pkt
+  | P_rel p -> Reliable_link.send p pkt
+  | P_rt p -> Realtime_link.send p pkt
+  | P_itp p -> It_priority.send p pkt
+  | P_itr p ->
+    (* Callers check capacity first via try_accept/originate. *)
+    if not (It_reliable.offer p pkt) then
+      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1
+  | P_fec p -> Fec_link.send p pkt
+
+(* Verification of the origin signature on intrusion-tolerant data. *)
+and auth_ok t pkt =
+  match pkt.Packet.service with
+  | Packet.Best_effort | Packet.Reliable | Packet.Realtime _ | Packet.Fec _ ->
+    true
+  | Packet.It_priority _ | Packet.It_reliable -> begin
+    match t.registry with
+    | None -> true
+    | Some reg -> begin
+      match pkt.Packet.auth with
+      | None -> false
+      | Some tag ->
+        Auth.verify_sign reg ~node:pkt.Packet.flow.Packet.f_src
+          (Packet.signable pkt) tag
+    end
+  end
+
+and needs_dedup pkt =
+  match (pkt.Packet.routing, pkt.Packet.flow.Packet.f_dest) with
+  | Packet.Source_mask _, _ -> true
+  | Packet.Link_state, (Packet.To_group _ | Packet.Any_of_group _) -> true
+  | Packet.Link_state, Packet.To_node _ -> false
+
+(* The routing level: deliver locally, forward onward. *)
+and forward t ~from_link pkt =
+  if pkt.Packet.hops >= Packet.max_hops then
+    t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
+  else if not (auth_ok t pkt) then t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+  else if
+    needs_dedup pkt
+    && Dedup.seen t.dedup pkt.Packet.flow pkt.Packet.seq
+    && not pkt.Packet.replay
+  then t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1
+  else begin
+    List.iter (fun port -> deliver_local t pkt ~port) (local_ports_for t pkt);
+    let outs = out_links_for t pkt ~from_link in
+    List.iter
+      (fun l ->
+        match Hashtbl.find_opt t.endpoints l with
+        | Some ep -> send_on t ep pkt
+        | None -> ())
+      outs
+  end
+
+(* IT-Reliable acceptance: the packet is taken responsibility for only if
+   every onward link buffer (and local delivery) can absorb it — checked
+   before any enqueue so a multi-link dissemination is all-or-nothing. *)
+and try_accept t ~from_link pkt =
+  if pkt.Packet.hops >= Packet.max_hops then false
+  else if not (cpu_admit t) then false
+  else if not (auth_ok t pkt) then begin
+    t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
+    false
+  end
+  else if Dedup.peek t.dedup pkt.Packet.flow pkt.Packet.seq then begin
+    (* Already accepted earlier: re-ack without reprocessing. *)
+    t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1;
+    true
+  end
+  else begin
+    let outs = out_links_for t pkt ~from_link in
+    let ports = local_ports_for t pkt in
+    if outs = [] && ports = [] then begin
+      (* Nowhere to take responsibility toward (e.g. destination currently
+         unreachable): refuse rather than absorb — reliability must not be
+         silently dropped. *)
+      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+      false
+    end
+    else begin
+    let room =
+      List.for_all
+        (fun l ->
+          match Hashtbl.find_opt t.endpoints l with
+          | None -> true
+          | Some ep -> begin
+            match get_proto t ep (Packet.service_class Packet.It_reliable) with
+            | P_itr p -> It_reliable.can_accept p ~flow:pkt.Packet.flow
+            | _ -> true
+          end)
+        outs
+    in
+    if not room then begin
+      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+      false
+    end
+    else begin
+      ignore (Dedup.seen t.dedup pkt.Packet.flow pkt.Packet.seq);
+      List.iter (fun port -> deliver_local t pkt ~port) ports;
+      List.iter
+        (fun l ->
+          match Hashtbl.find_opt t.endpoints l with
+          | Some ep -> send_on t ep pkt
+          | None -> ())
+        outs;
+      true
+    end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Hello protocol (link liveness + RTT)                                *)
+(* ------------------------------------------------------------------ *)
+
+let mark_alive t ep =
+  ep.ep_last_heard <- Engine.now t.engine;
+  if not (Conn_graph.local_view t.conn_graph ep.ep_link) then
+    flood_local_update t (Conn_graph.set_local t.conn_graph ~link:ep.ep_link ~up:true)
+
+let handle_hello t ep hseq sent_at =
+  mark_alive t ep;
+  ep.ep_xmit (Msg.Hello_ack { hseq; echo = sent_at })
+
+let handle_hello_ack t ep echo =
+  ep.ep_hello_window_acked <- ep.ep_hello_window_acked + 1;
+  let now = Engine.now t.engine in
+  let sample = Time.sub now echo in
+  if sample >= 0 then begin
+    (* EWMA 7/8, and advertise the one-way latency as the link metric. *)
+    ep.ep_rtt <-
+      if ep.ep_rtt = 0 then sample else ((7 * ep.ep_rtt) + sample) / 8;
+    flood_local_update t
+      (Conn_graph.set_local_metric t.conn_graph ~link:ep.ep_link
+         ~metric:(max 1 (ep.ep_rtt / 2)))
+  end;
+  mark_alive t ep
+
+(* A declared-dead link strands the packets its Reliable Data Link holds
+   for retransmission; reliability survives the reroute by re-injecting
+   them into the routing level (bypassing de-dup — they were already
+   recorded when first forwarded). Destinations de-duplicate the subset
+   that had in fact crossed before the failure. *)
+let reroute_stranded_reliable t ep =
+  match ep.ep_protos.(Packet.service_class Packet.Reliable) with
+  | Some (P_rel p) ->
+    let stranded = Reliable_link.drain_store p in
+    List.iter
+      (fun pkt ->
+        let pkt = Packet.as_replay pkt in
+        let outs = out_links_for t pkt ~from_link:ep.ep_link in
+        List.iter
+          (fun l ->
+            match Hashtbl.find_opt t.endpoints l with
+            | Some ep' -> send_on t ep' pkt
+            | None -> ())
+          outs)
+      stranded
+  | Some (P_best _ | P_rt _ | P_itp _ | P_itr _ | P_fec _) | None -> ()
+
+let hello_tick t ep () =
+  let now = Engine.now t.engine in
+  (* Liveness check first: silence beyond the timeout takes the link down
+     (and lets the network layer try another ISP). While the link stays
+     silent, keep re-suspecting periodically so multihoming can rotate
+     through the remaining providers until one works (§II-A). *)
+  if Time.sub now ep.ep_last_heard > t.cfg.hello_timeout then begin
+    if Conn_graph.local_view t.conn_graph ep.ep_link then begin
+      flood_local_update t
+        (Conn_graph.set_local t.conn_graph ~link:ep.ep_link ~up:false);
+      reroute_stranded_reliable t ep;
+      ep.ep_last_suspect <- now;
+      t.suspect_hook ep.ep_link
+    end
+    else if Time.sub now ep.ep_last_suspect > t.cfg.hello_timeout then begin
+      ep.ep_last_suspect <- now;
+      t.suspect_hook ep.ep_link
+    end
+  end;
+  ep.ep_hello_seq <- ep.ep_hello_seq + 1;
+  ep.ep_hello_pending <-
+    (ep.ep_hello_seq, now) :: List.filteri (fun i _ -> i < 7) ep.ep_hello_pending;
+  (* Loss estimation: every 20 hellos, fold the window's hello round-trip
+     delivery ratio into an EWMA and advertise significant changes. The
+     hello round trip sees ~1-(1-p)^2 for per-direction loss p, which is
+     exactly the pessimism a retransmitting link protocol experiences. *)
+  ep.ep_hello_window_sent <- ep.ep_hello_window_sent + 1;
+  if ep.ep_hello_window_sent >= 20 then begin
+    let lost = max 0 (ep.ep_hello_window_sent - ep.ep_hello_window_acked) in
+    let sample = 1000 * lost / ep.ep_hello_window_sent in
+    ep.ep_loss_est <- ((3 * ep.ep_loss_est) + sample) / 4;
+    ep.ep_hello_window_sent <- 0;
+    ep.ep_hello_window_acked <- 0;
+    flood_local_update t
+      (Conn_graph.set_local_loss t.conn_graph ~link:ep.ep_link ~loss:ep.ep_loss_est)
+  end;
+  ep.ep_xmit (Msg.Hello { hseq = ep.ep_hello_seq; sent_at = now })
+
+(* ------------------------------------------------------------------ *)
+(* Wire ingress                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let proto_recv t ep cls msg =
+  match get_proto t ep cls with
+  | P_best p -> Best_effort.recv p msg
+  | P_rel p -> Reliable_link.recv p msg
+  | P_rt p -> Realtime_link.recv p msg
+  | P_itp p -> It_priority.recv p msg
+  | P_itr p -> It_reliable.recv p msg
+  | P_fec p -> Fec_link.recv p msg
+
+let receive t ~link msg =
+  match Hashtbl.find_opt t.endpoints link with
+  | None -> ()
+  | Some ep -> begin
+    match msg with
+    | Msg.Hello { hseq; sent_at } -> handle_hello t ep hseq sent_at
+    | Msg.Hello_ack { echo; _ } -> handle_hello_ack t ep echo
+    | Msg.Lsu { origin; lsu_seq; links; auth } ->
+      if verify_flood t ~origin msg auth then begin
+        if Conn_graph.apply_lsu t.conn_graph ~origin ~lsu_seq links then
+          flood t ~except:link msg
+      end
+      else t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+    | Msg.Group_update { origin; gseq; memb; auth } ->
+      if verify_flood t ~origin msg auth then begin
+        if Group.apply_update t.group_state ~origin ~gseq memb then
+          flood t ~except:link msg
+      end
+      else t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+    | Msg.Data { cls; _ } -> proto_recv t ep cls msg
+    | Msg.Link_ack { cls; _ } -> proto_recv t ep cls msg
+    | Msg.Link_nack { cls; _ } -> proto_recv t ep cls msg
+    | Msg.Rt_request _ ->
+      proto_recv t ep
+        (Packet.service_class
+           (Packet.Realtime { deadline = 0; n_requests = 1; m_retrans = 1 }))
+        msg
+    | Msg.It_ack _ ->
+      proto_recv t ep (Packet.service_class Packet.It_reliable) msg
+    | Msg.Fec_parity _ ->
+      proto_recv t ep
+        (Packet.service_class (Packet.Fec { fec_k = 1; fec_r = 1 }))
+        msg
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Setup and the session interface                                     *)
+(* ------------------------------------------------------------------ *)
+
+let attach_link t ~link ~neighbor ~bandwidth_bps ~xmit =
+  if t.started then invalid_arg "Node.attach_link: already started";
+  let metric = Conn_graph.metric t.conn_graph link in
+  Hashtbl.replace t.endpoints link
+    {
+      ep_link = link;
+      ep_neighbor = neighbor;
+      ep_bandwidth = bandwidth_bps;
+      ep_xmit = xmit;
+      ep_protos = Array.make Packet.class_count None;
+      ep_last_heard = Time.zero;
+      ep_rtt = 2 * metric;
+      ep_hello_pending = [];
+      ep_hello_seq = 0;
+      ep_hello_window_sent = 0;
+      ep_hello_window_acked = 0;
+      ep_loss_est = 0;
+      ep_last_suspect = Time.zero;
+    }
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Hashtbl.iter
+      (fun _ ep ->
+        ep.ep_last_heard <- Engine.now t.engine;
+        let rec tick () =
+          hello_tick t ep ();
+          ignore (Engine.schedule t.engine ~delay:t.cfg.hello_interval tick)
+        in
+        tick ())
+      t.endpoints;
+    let rec refresh () =
+      flood_local_update t (Some (Conn_graph.refresh_lsu t.conn_graph));
+      ignore (Engine.schedule t.engine ~delay:t.cfg.lsu_refresh refresh)
+    in
+    ignore (Engine.schedule t.engine ~delay:t.cfg.lsu_refresh refresh)
+  end
+
+let register_session t ~port ~deliver = Hashtbl.replace t.sessions port deliver
+let unregister_session t ~port = Hashtbl.remove t.sessions port
+
+let join_group t ~group ~port =
+  flood_local_update t (Group.join_local t.group_state ~group ~port)
+
+let leave_group t ~group ~port =
+  flood_local_update t (Group.leave_local t.group_state ~group ~port)
+
+let sign_packet t pkt =
+  match (t.registry, pkt.Packet.service) with
+  | Some reg, (Packet.It_priority _ | Packet.It_reliable) ->
+    let tag = Auth.sign reg ~node:t.id (Packet.signable pkt) in
+    { pkt with Packet.auth = Some tag }
+  | _ -> pkt
+
+let originate t pkt =
+  let pkt = Packet.with_ingress pkt t.id in
+  let pkt = sign_packet t pkt in
+  (* Resolve anycast at the origin for source-routed packets: the mask was
+     built toward a concrete target. *)
+  let pkt =
+    match (pkt.Packet.routing, pkt.Packet.flow.Packet.f_dest) with
+    | Packet.Source_mask _, Packet.Any_of_group g -> begin
+      match Route.anycast_target t.routing ~group:g with
+      | Some target ->
+        {
+          pkt with
+          Packet.flow = { pkt.Packet.flow with Packet.f_dest = Packet.To_node target };
+        }
+      | None -> pkt
+    end
+    | _ -> pkt
+  in
+  match pkt.Packet.service with
+  | Packet.It_reliable -> try_accept t ~from_link:(-1) pkt
+  | _ ->
+    forward t ~from_link:(-1) pkt;
+    true
+
+let link_up_view t ~link = Conn_graph.local_view t.conn_graph link
+
+let rtt_estimate t ~link =
+  match Hashtbl.find_opt t.endpoints link with
+  | None -> 0
+  | Some ep -> ep.ep_rtt

@@ -1,0 +1,236 @@
+open Strovl_sim
+module IntMap = Map.Make (Int)
+
+type config = {
+  ack_every : int;
+  ack_delay : Time.t;
+  nack_repeat : Time.t option;
+  rto : Time.t option;
+  in_order_forwarding : bool;
+  max_nack_repeats : int;
+}
+
+let default_config =
+  {
+    ack_every = 16;
+    ack_delay = Time.ms 25;
+    nack_repeat = None;
+    rto = None;
+    in_order_forwarding = false;
+    max_nack_repeats = 50;
+  }
+
+type t = {
+  ctx : Lproto.ctx;
+  cfg : config;
+  cls : int;
+  (* sender *)
+  mutable next_lseq : int;
+  mutable store : (Packet.t * int64 option) IntMap.t; (* unacked, by lseq *)
+  mutable rto_timer : Engine.handle option;
+  mutable n_sent : int;
+  mutable n_retrans : int;
+  (* receiver *)
+  mutable recv_high : int; (* highest lseq received *)
+  mutable cum : int; (* highest contiguous lseq received *)
+  mutable missing : (int, Engine.handle) Hashtbl.t; (* gap lseq -> nack repeat timer *)
+  (* Received lseqs beyond cum. Value = Some pkt when the packet is being
+     held for in-order forwarding (ablation mode), None once passed up. *)
+  mutable seen : Packet.t option IntMap.t;
+  mutable unacked_count : int; (* packets received since last cum ack *)
+  mutable ack_timer : Engine.handle option;
+  mutable n_up : int;
+}
+
+let nack_repeat t =
+  match t.cfg.nack_repeat with
+  | Some d -> d
+  | None -> Time.max (Time.ms 2) (Time.add t.ctx.Lproto.rtt_hint t.ctx.Lproto.rtt_hint)
+
+(* The RTO must outlast the worst-case ack round trip, which includes the
+   receiver's delayed-ack timer — otherwise an idle sender spuriously
+   retransmits while its ack is still in flight. *)
+let rto t =
+  match t.cfg.rto with
+  | Some d -> d
+  | None ->
+    Time.max (Time.ms 5) (Time.add (3 * t.ctx.Lproto.rtt_hint) t.cfg.ack_delay)
+
+let create ?(config = default_config) ctx =
+  {
+    ctx;
+    cfg = config;
+    cls = Packet.service_class Packet.Reliable;
+    next_lseq = 0;
+    store = IntMap.empty;
+    rto_timer = None;
+    n_sent = 0;
+    n_retrans = 0;
+    recv_high = 0;
+    cum = 0;
+    missing = Hashtbl.create 8;
+    seen = IntMap.empty;
+    unacked_count = 0;
+    ack_timer = None;
+    n_up = 0;
+  }
+
+(* ---------------- sender side ---------------- *)
+
+let xmit_data t lseq pkt auth =
+  t.ctx.Lproto.xmit (Msg.Data { cls = t.cls; lseq; pkt; auth })
+
+let rec arm_rto t =
+  (match t.rto_timer with Some h -> Engine.cancel h | None -> ());
+  if IntMap.is_empty t.store then t.rto_timer <- None
+  else
+    t.rto_timer <-
+      Some
+        (Engine.schedule t.ctx.Lproto.engine ~delay:(rto t) (fun () ->
+             t.rto_timer <- None;
+             (* Tail-loss probe: retransmit the oldest unacked packet. *)
+             (match IntMap.min_binding_opt t.store with
+             | Some (lseq, (pkt, auth)) ->
+               t.n_retrans <- t.n_retrans + 1;
+               xmit_data t lseq pkt auth
+             | None -> ());
+             arm_rto t))
+
+let send t pkt =
+  t.next_lseq <- t.next_lseq + 1;
+  let lseq = t.next_lseq in
+  t.store <- IntMap.add lseq (pkt, None) t.store;
+  t.n_sent <- t.n_sent + 1;
+  xmit_data t lseq pkt None;
+  if t.rto_timer = None then arm_rto t
+
+let handle_ack t cum =
+  (* Keep only lseq > cum; split also discards the binding at cum itself,
+     which is acked. *)
+  let _, _, keep = IntMap.split cum t.store in
+  t.store <- keep;
+  arm_rto t
+
+let handle_nack t missing =
+  List.iter
+    (fun lseq ->
+      match IntMap.find_opt lseq t.store with
+      | Some (pkt, auth) ->
+        t.n_retrans <- t.n_retrans + 1;
+        xmit_data t lseq pkt auth
+      | None -> () (* already acked: the nack crossed a retransmission *))
+    missing;
+  arm_rto t
+
+(* ---------------- receiver side ---------------- *)
+
+let send_cum_ack t =
+  (match t.ack_timer with Some h -> Engine.cancel h | None -> ());
+  t.ack_timer <- None;
+  t.unacked_count <- 0;
+  t.ctx.Lproto.xmit (Msg.Link_ack { cls = t.cls; cum = t.cum })
+
+let schedule_ack t =
+  t.unacked_count <- t.unacked_count + 1;
+  if t.unacked_count >= t.cfg.ack_every then send_cum_ack t
+  else if t.ack_timer = None then
+    t.ack_timer <-
+      Some
+        (Engine.schedule t.ctx.Lproto.engine ~delay:t.cfg.ack_delay (fun () ->
+             t.ack_timer <- None;
+             send_cum_ack t))
+
+let advance_cum t =
+  let rec go () =
+    let next = t.cum + 1 in
+    match IntMap.find_opt next t.seen with
+    | Some held ->
+      t.seen <- IntMap.remove next t.seen;
+      t.cum <- next;
+      (match held with
+      | Some pkt ->
+        t.n_up <- t.n_up + 1;
+        t.ctx.Lproto.up pkt
+      | None -> ());
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let rec nack_loop t lseq tries () =
+  if Hashtbl.mem t.missing lseq then begin
+    if tries >= t.cfg.max_nack_repeats then begin
+      (* The peer will never answer (it rerouted the packet away from this
+         link): abandon the slot so timers do not fire forever. The slot is
+         marked received-and-forwarded so cum can advance past it. *)
+      Hashtbl.remove t.missing lseq;
+      t.seen <- IntMap.add lseq None t.seen;
+      advance_cum t
+    end
+    else begin
+      t.ctx.Lproto.xmit (Msg.Link_nack { cls = t.cls; missing = [ lseq ] });
+      let h =
+        Engine.schedule t.ctx.Lproto.engine ~delay:(nack_repeat t)
+          (nack_loop t lseq (tries + 1))
+      in
+      Hashtbl.replace t.missing lseq h
+    end
+  end
+
+let note_gap t lseq =
+  if not (Hashtbl.mem t.missing lseq) then begin
+    (* First NACK goes out immediately; the timer handles repeats. *)
+    Hashtbl.replace t.missing lseq
+      (Engine.schedule t.ctx.Lproto.engine ~delay:Time.zero (nack_loop t lseq 0))
+  end
+
+let handle_data t lseq pkt =
+  let duplicate = lseq <= t.cum || IntMap.mem lseq t.seen in
+  if duplicate then send_cum_ack t (* our ack was probably lost; refresh *)
+  else begin
+    (match Hashtbl.find_opt t.missing lseq with
+    | Some h ->
+      Engine.cancel h;
+      Hashtbl.remove t.missing lseq
+    | None -> ());
+    if lseq > t.recv_high then begin
+      (* New gap slots between recv_high and lseq. *)
+      for g = t.recv_high + 1 to lseq - 1 do
+        if g > t.cum && not (IntMap.mem g t.seen) then note_gap t g
+      done;
+      t.recv_high <- lseq
+    end;
+    if t.cfg.in_order_forwarding then begin
+      (* Ablation: hold until contiguous, forwarding inside advance_cum. *)
+      t.seen <- IntMap.add lseq (Some pkt) t.seen;
+      advance_cum t
+    end
+    else begin
+      (* Out-of-order forwarding (§III-A): packets go up as they arrive. *)
+      t.seen <- IntMap.add lseq None t.seen;
+      advance_cum t;
+      t.n_up <- t.n_up + 1;
+      t.ctx.Lproto.up pkt
+    end;
+    schedule_ack t
+  end
+
+let recv t = function
+  | Msg.Data { lseq; pkt; _ } -> handle_data t lseq pkt
+  | Msg.Link_ack { cum; _ } -> handle_ack t cum
+  | Msg.Link_nack { missing; _ } -> handle_nack t missing
+  | Msg.Rt_request _ | Msg.It_ack _ | Msg.Fec_parity _ | Msg.Hello _
+  | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+    ()
+
+let drain_store t =
+  let pkts = List.map (fun (_, (pkt, _)) -> pkt) (IntMap.bindings t.store) in
+  t.store <- IntMap.empty;
+  (match t.rto_timer with Some h -> Engine.cancel h | None -> ());
+  t.rto_timer <- None;
+  pkts
+
+let sent t = t.n_sent
+let retransmissions t = t.n_retrans
+let store_size t = IntMap.cardinal t.store
+let delivered_up t = t.n_up

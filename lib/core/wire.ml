@@ -1,0 +1,361 @@
+type error = string
+
+(* ----------------------------- encoding ------------------------------ *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_u16 b v = Buffer.add_uint16_be b (v land 0xffff)
+
+let put_u32 b v =
+  if v < 0 then invalid_arg "Wire: negative u32";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_string b s =
+  let n = min (String.length s) 0xffff in
+  put_u16 b n;
+  Buffer.add_substring b s 0 n
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_auth b = function
+  | None -> put_u8 b 0
+  | Some tag ->
+    put_u8 b 1;
+    Buffer.add_int64_be b tag
+
+let put_dest b = function
+  | Packet.To_node n ->
+    put_u8 b 0;
+    put_u32 b n
+  | Packet.To_group g ->
+    put_u8 b 1;
+    put_u32 b g
+  | Packet.Any_of_group g ->
+    put_u8 b 2;
+    put_u32 b g
+
+let put_routing b = function
+  | Packet.Link_state -> put_u8 b 0
+  | Packet.Source_mask mask ->
+    put_u8 b 1;
+    put_u16 b (Strovl_topo.Bitmask.nlinks mask);
+    let words = Strovl_topo.Bitmask.words mask in
+    put_u16 b (Array.length words);
+    Array.iter (Buffer.add_int64_be b) words
+
+let put_service b = function
+  | Packet.Best_effort -> put_u8 b 0
+  | Packet.Reliable -> put_u8 b 1
+  | Packet.Realtime { deadline; n_requests; m_retrans } ->
+    put_u8 b 2;
+    put_i64 b deadline;
+    put_u8 b n_requests;
+    put_u8 b m_retrans
+  | Packet.It_priority prio ->
+    put_u8 b 3;
+    put_u32 b prio
+  | Packet.It_reliable -> put_u8 b 4
+  | Packet.Fec { fec_k; fec_r } ->
+    put_u8 b 5;
+    put_u8 b fec_k;
+    put_u8 b fec_r
+
+let put_packet b (p : Packet.t) =
+  put_u16 b p.Packet.flow.Packet.f_src;
+  put_u32 b p.Packet.flow.Packet.f_sport;
+  put_dest b p.Packet.flow.Packet.f_dest;
+  put_u32 b p.Packet.flow.Packet.f_dport;
+  put_routing b p.Packet.routing;
+  put_service b p.Packet.service;
+  put_u32 b p.Packet.seq;
+  put_i64 b p.Packet.sent_at;
+  put_u32 b p.Packet.bytes;
+  put_string b p.Packet.tag;
+  put_auth b p.Packet.auth;
+  put_u16 b p.Packet.hops;
+  (* ingress may be -1 (not yet stamped): shift by one. *)
+  put_u16 b (p.Packet.ingress + 1);
+  put_bool b p.Packet.replay
+
+let encode msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Msg.Data { cls; lseq; pkt; auth } ->
+    put_u8 b 1;
+    put_u8 b cls;
+    put_u32 b lseq;
+    put_auth b auth;
+    put_packet b pkt
+  | Msg.Link_ack { cls; cum } ->
+    put_u8 b 2;
+    put_u8 b cls;
+    put_u32 b cum
+  | Msg.Link_nack { cls; missing } ->
+    put_u8 b 3;
+    put_u8 b cls;
+    put_u16 b (List.length missing);
+    List.iter (put_u32 b) missing
+  | Msg.Rt_request { lseq } ->
+    put_u8 b 4;
+    put_u32 b lseq
+  | Msg.It_ack { lseq } ->
+    put_u8 b 5;
+    put_u32 b lseq
+  | Msg.Hello { hseq; sent_at } ->
+    put_u8 b 6;
+    put_u32 b hseq;
+    put_i64 b sent_at
+  | Msg.Hello_ack { hseq; echo } ->
+    put_u8 b 7;
+    put_u32 b hseq;
+    put_i64 b echo
+  | Msg.Lsu { origin; lsu_seq; links; auth } ->
+    put_u8 b 8;
+    put_u16 b origin;
+    put_u32 b lsu_seq;
+    put_u16 b (List.length links);
+    List.iter
+      (fun (l, i) ->
+        put_u32 b l;
+        put_bool b i.Msg.li_up;
+        put_u32 b i.Msg.li_metric;
+        put_u16 b i.Msg.li_loss)
+      links;
+    put_auth b auth
+  | Msg.Fec_parity { block; idx; k; bytes; blk_pkts } ->
+    put_u8 b 10;
+    put_u32 b block;
+    put_u8 b idx;
+    put_u8 b k;
+    put_u32 b bytes;
+    put_u8 b (List.length blk_pkts);
+    List.iter (put_packet b) blk_pkts
+  | Msg.Group_update { origin; gseq; memb; auth } ->
+    put_u8 b 9;
+    put_u16 b origin;
+    put_u32 b gseq;
+    put_u16 b (List.length memb);
+    List.iter
+      (fun (g, m) ->
+        put_u32 b g;
+        put_bool b m)
+      memb;
+    put_auth b auth);
+  Buffer.contents b
+
+(* ----------------------------- decoding ------------------------------ *)
+
+exception Bad of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Bad "truncated message")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = (Char.code c.data.[c.pos] lsl 8) lor Char.code c.data.[c.pos + 1] in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code c.data.[c.pos + i]
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.data.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  !v
+
+let get_time c =
+  let v = Int64.to_int (get_i64 c) in
+  if v < 0 then raise (Bad "negative time");
+  v
+
+let get_string c =
+  let n = get_u16 c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise (Bad "bad boolean")
+
+let get_auth c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get_i64 c)
+  | _ -> raise (Bad "bad auth flag")
+
+let get_dest c =
+  match get_u8 c with
+  | 0 -> Packet.To_node (get_u32 c)
+  | 1 -> Packet.To_group (get_u32 c)
+  | 2 -> Packet.Any_of_group (get_u32 c)
+  | _ -> raise (Bad "bad destination kind")
+
+let get_routing c =
+  match get_u8 c with
+  | 0 -> Packet.Link_state
+  | 1 ->
+    let nlinks = get_u16 c in
+    let nwords = get_u16 c in
+    if nwords > 1024 then raise (Bad "oversized bitmask");
+    if nwords <> max 1 ((nlinks + 63) / 64) then raise (Bad "bitmask size mismatch");
+    let mask = Strovl_topo.Bitmask.create ~nlinks in
+    for w = 0 to nwords - 1 do
+      let word = get_i64 c in
+      for bit = 0 to 63 do
+        let l = (w * 64) + bit in
+        if l < nlinks && Int64.logand word (Int64.shift_left 1L bit) <> 0L then
+          Strovl_topo.Bitmask.set mask l
+      done
+    done;
+    Packet.Source_mask mask
+  | _ -> raise (Bad "bad routing kind")
+
+let get_service c =
+  match get_u8 c with
+  | 0 -> Packet.Best_effort
+  | 1 -> Packet.Reliable
+  | 2 ->
+    let deadline = get_time c in
+    let n_requests = get_u8 c in
+    let m_retrans = get_u8 c in
+    Packet.Realtime { deadline; n_requests; m_retrans }
+  | 3 -> Packet.It_priority (get_u32 c)
+  | 4 -> Packet.It_reliable
+  | 5 ->
+    let fec_k = get_u8 c in
+    let fec_r = get_u8 c in
+    Packet.Fec { fec_k; fec_r }
+  | _ -> raise (Bad "bad service kind")
+
+let get_packet c =
+  let f_src = get_u16 c in
+  let f_sport = get_u32 c in
+  let f_dest = get_dest c in
+  let f_dport = get_u32 c in
+  let routing = get_routing c in
+  let service = get_service c in
+  let seq = get_u32 c in
+  let sent_at = get_time c in
+  let bytes = get_u32 c in
+  let tag = get_string c in
+  let auth = get_auth c in
+  let hops = get_u16 c in
+  let ingress = get_u16 c - 1 in
+  let replay = get_bool c in
+  let base =
+    Packet.make
+      ~flow:{ Packet.f_src; f_sport; f_dest; f_dport }
+      ~routing ~service ~seq ~sent_at ~bytes ~tag ?auth ()
+  in
+  (* Reconstruct the transit fields that [make] initializes. *)
+  let base = if ingress >= 0 then Packet.with_ingress base ingress else base in
+  let base = if replay then Packet.as_replay base else base in
+  let rec add_hops p n = if n = 0 then p else add_hops (Packet.next_hop_copy p) (n - 1) in
+  add_hops base hops
+
+let get_list c get =
+  let n = get_u16 c in
+  if n > 0xffff then raise (Bad "oversized list");
+  List.init n (fun _ -> get c)
+
+let decode_exn c =
+  let msg =
+    match get_u8 c with
+    | 1 ->
+      let cls = get_u8 c in
+      let lseq = get_u32 c in
+      let auth = get_auth c in
+      let pkt = get_packet c in
+      Msg.Data { cls; lseq; pkt; auth }
+    | 2 ->
+      let cls = get_u8 c in
+      let cum = get_u32 c in
+      Msg.Link_ack { cls; cum }
+    | 3 ->
+      let cls = get_u8 c in
+      let missing = get_list c get_u32 in
+      Msg.Link_nack { cls; missing }
+    | 4 -> Msg.Rt_request { lseq = get_u32 c }
+    | 5 -> Msg.It_ack { lseq = get_u32 c }
+    | 6 ->
+      let hseq = get_u32 c in
+      let sent_at = get_time c in
+      Msg.Hello { hseq; sent_at }
+    | 7 ->
+      let hseq = get_u32 c in
+      let echo = get_time c in
+      Msg.Hello_ack { hseq; echo }
+    | 8 ->
+      let origin = get_u16 c in
+      let lsu_seq = get_u32 c in
+      let links =
+        get_list c (fun c ->
+            let l = get_u32 c in
+            let li_up = get_bool c in
+            let li_metric = get_u32 c in
+            let li_loss = get_u16 c in
+            (l, { Msg.li_up; li_metric; li_loss }))
+      in
+      let auth = get_auth c in
+      Msg.Lsu { origin; lsu_seq; links; auth }
+    | 9 ->
+      let origin = get_u16 c in
+      let gseq = get_u32 c in
+      let memb =
+        get_list c (fun c ->
+            let g = get_u32 c in
+            let m = get_bool c in
+            (g, m))
+      in
+      let auth = get_auth c in
+      Msg.Group_update { origin; gseq; memb; auth }
+    | 10 ->
+      let block = get_u32 c in
+      let idx = get_u8 c in
+      let k = get_u8 c in
+      let bytes = get_u32 c in
+      let n = get_u8 c in
+      let blk_pkts = List.init n (fun _ -> get_packet c) in
+      Msg.Fec_parity { block; idx; k; bytes; blk_pkts }
+    | t -> raise (Bad (Printf.sprintf "unknown message tag %d" t))
+  in
+  if c.pos <> String.length c.data then raise (Bad "trailing bytes");
+  msg
+
+let decode data =
+  try Ok (decode_exn { data; pos = 0 }) with
+  | Bad e -> Error e
+  | Invalid_argument e -> Error e
+
+let payload_bytes = function
+  | Msg.Data { pkt; _ } -> pkt.Packet.bytes
+  | Msg.Fec_parity { bytes; _ } -> bytes
+  | Msg.Link_ack _ | Msg.Link_nack _ | Msg.Rt_request _ | Msg.It_ack _
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+    0
+
+let size msg = String.length (encode msg) + payload_bytes msg

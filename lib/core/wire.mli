@@ -1,0 +1,32 @@
+(** Binary wire format for overlay messages.
+
+    The overlay daemons of a real deployment exchange these messages as UDP
+    datagrams between data centers; this codec defines that format: a tag
+    byte plus big-endian fields, with the source-route bitmask carried as a
+    word-count-prefixed array (§II-B: one bit per overlay link) and
+    application payloads represented by their length (the simulator never
+    materializes payload bytes; a deployment would append them after the
+    header this codec produces).
+
+    [decode] never raises on hostile input — a compromised peer can send
+    arbitrary bytes — and rejects truncated, oversized, or malformed
+    messages with a descriptive error. *)
+
+type error = string
+
+val encode : Msg.t -> string
+(** Serialized header+control bytes of the message. For [Data] the
+    application payload is *not* materialized: the wire size of the full
+    datagram is [String.length (encode m) + payload_bytes m]. *)
+
+val decode : string -> (Msg.t, error) result
+(** Inverse of {!encode}: [decode (encode m)] = [Ok m]. *)
+
+val payload_bytes : Msg.t -> int
+(** Application payload bytes that would follow the encoded header on the
+    wire (0 for control messages). *)
+
+val size : Msg.t -> int
+(** [String.length (encode m) + payload_bytes m]: the exact datagram size.
+    {!Msg.bytes} is a cheap analytic approximation of this; the test suite
+    keeps the two within a small tolerance. *)

@@ -1,0 +1,25 @@
+(** SipHash-2-4 keyed pseudo-random function (Aumasson & Bernstein, 2012).
+
+    Implemented from scratch because the sealed build environment ships no
+    cryptography library. SipHash is a genuine keyed PRF (not a toy hash):
+    it is what the overlay nodes use to authenticate node-to-node messages
+    (§IV-B — "each overlay node ... can use cryptography to authenticate
+    messages and ensure that they originate from authorized overlay
+    nodes"). 64-bit tags are adequate for the simulated threat model and
+    keep per-packet cost realistic for a software router. *)
+
+type key = { k0 : int64; k1 : int64 }
+
+val key_of_string : string -> key
+(** Derives a key from arbitrary seed material (first 16 bytes, zero-padded). *)
+
+val key_of_ints : int64 -> int64 -> key
+
+val hash : key -> string -> int64
+(** SipHash-2-4 of the message under the key. *)
+
+val hash_bytes : key -> bytes -> int64
+
+val self_test : unit -> bool
+(** Checks the implementation against the reference test vector from the
+    SipHash paper (key 000102…0f, messages of length 0..63). *)

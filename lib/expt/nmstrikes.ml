@@ -1,0 +1,184 @@
+(** fig4-nmstrikes: Figure 4 / §IV-A.
+
+    Live TV: one-way deadline 200 ms across a 40 ms continental path, under
+    *bursty* (Gilbert–Elliott) loss — the regime NM-Strikes is built for.
+    Compares best-effort, a single-strike protocol (N=1, M=1: one request,
+    one retransmission — the VoIP predecessor [6,7]), naive NM with
+    back-to-back spacing, and full NM-Strikes (N=3, M=3, spread).
+
+    Reported: on-time fraction (within the 200 ms deadline) and data-wire
+    overhead, to check the paper's 1+Mp cost formula. *)
+
+open Strovl_sim
+module Gen = Strovl_topo.Gen
+
+let path_delay = Time.ms 40
+let deadline = Time.ms 200
+let budget = Time.ms 160 (* 200 - 40 (SIV-A) *)
+let interval = Time.us 1316 (* ~8 Mbit/s of 1316B packets *)
+
+type variant = { name : string; service : Strovl.E2e.service }
+
+let rt ?rs ?ms n m =
+  {
+    Strovl.Realtime_link.n_requests = n;
+    m_retrans = m;
+    budget;
+    history = 65536;
+    request_spacing = rs;
+    retrans_spacing = ms;
+  }
+
+let variants =
+  [
+    { name = "best-effort"; service = Strovl.E2e.Best_effort };
+    {
+      (* Proactive redundancy (OverQoS-style, SVI): zero recovery RTT but a
+         fixed r/k overhead, and bursts longer than r per block defeat it. *)
+      name = "fec(8,2)";
+      service =
+        Strovl.E2e.Fec { Strovl.Fec_link.k = 8; r = 2; flush = Time.ms 20 };
+    };
+    { name = "1-strike"; service = Strovl.E2e.Realtime (rt 1 1) };
+    {
+      name = "nm-back2back";
+      service =
+        Strovl.E2e.Realtime (rt ~rs:(Time.ms 2) ~ms:(Time.ms 1) 3 3);
+    };
+    { name = "nm-strikes(3,3)"; service = Strovl.E2e.Realtime (rt 3 3) };
+  ]
+
+let run_variant ~seed ~mean_loss ~burst ~count v =
+  let engine = Engine.create ~seed () in
+  let spec = Gen.chain ~n:2 ~hop_delay:path_delay in
+  let underlay = Strovl_net.Underlay.create engine spec in
+  let rng = Rng.split_named (Engine.rng engine) "nm" in
+  (* Bad state drops 90% of packets: enough get through that losses are
+     *detected inside the burst*, but a recovery attempt launched
+     immediately almost certainly falls inside the same correlated-loss
+     window and dies — the situation NM-Strikes' spacing is designed
+     around. Long-run loss rate = bad_fraction x 0.9 = mean_loss. *)
+  let p_bad = 0.9 in
+  let bad = float_of_int (burst : Time.t) in
+  let good = bad *. ((p_bad /. mean_loss) -. 1.) in
+  Strovl_net.Underlay.set_all_segment_loss underlay (fun si _ ->
+      Loss.gilbert_elliott
+        (Rng.split_named rng (Printf.sprintf "ge/%d" si))
+        ~p_good_loss:0. ~p_bad_loss:p_bad ~mean_good:(int_of_float good)
+        ~mean_bad:(int_of_float bad));
+  let link = Strovl_net.Link.create underlay ~a:0 ~b:1 ~isp:0 in
+  let collect = Strovl_apps.Collect.create ~deadline engine () in
+  let e2e =
+    Strovl.E2e.create engine link ~service:v.service
+      ~deliver:(Strovl_apps.Collect.receiver collect)
+  in
+  let sent = ref 0 in
+  let rec pump () =
+    if !sent < count then begin
+      Strovl.E2e.send e2e ();
+      incr sent;
+      ignore (Engine.schedule engine ~delay:interval pump)
+    end
+  in
+  pump ();
+  Engine.run ~until:(interval * count + Time.sec 2) engine;
+  let on_time = Strovl_apps.Collect.on_time_fraction collect ~sent:!sent in
+  let overhead =
+    1.
+    +. (float_of_int (Strovl.E2e.retransmissions e2e) /. float_of_int !sent)
+  in
+  (on_time, overhead)
+
+(* The same NM-Strikes machinery as an overlay *link* protocol (Figure 2):
+   five 8 ms links each running per-hop recovery, under the same end-to-end
+   loss budget (per-segment rate = mean/5). Detection and recovery both
+   happen at the scale of one short link. *)
+let run_overlay_hbh ~seed ~mean_loss ~burst ~count =
+  let sim = Common.build ~seed (Gen.chain ~n:6 ~hop_delay:(Time.of_ms_float 8.)) in
+  let p_bad = 0.9 in
+  let seg_loss = mean_loss /. 5. in
+  let bad = float_of_int (burst : Time.t) in
+  let good = bad *. ((p_bad /. seg_loss) -. 1.) in
+  Strovl_net.Underlay.set_all_segment_loss (Strovl.Net.underlay sim.Common.net)
+    (fun si _ ->
+      Loss.gilbert_elliott
+        (Rng.split_named sim.Common.rng (Printf.sprintf "hbh/%d" si))
+        ~p_good_loss:0. ~p_bad_loss:p_bad ~mean_good:(int_of_float good)
+        ~mean_bad:(int_of_float bad));
+  let collect, sent =
+    Common.flow_stats sim ~src:0 ~dst:5
+      ~service:(Strovl.Packet.Realtime { deadline; n_requests = 3; m_retrans = 3 })
+      ~deadline ~interval ~bytes:1316 ~count ()
+  in
+  Strovl_apps.Collect.on_time_fraction collect ~sent
+
+let run ?(quick = false) ~seed () =
+  (* Burst durations are chosen in the regime the protocol targets: longer
+     than the path RTT (so an immediate retry lands inside the burst) but
+     shorter than the 160 ms budget (so spaced retries can escape it). *)
+  let count = if quick then 8_000 else 60_000 in
+  let conditions =
+    if quick then [ (0.02, Time.ms 100) ]
+    else
+      [ (0.01, Time.ms 60); (0.01, Time.ms 100); (0.025, Time.ms 100); (0.05, Time.ms 100) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (mean_loss, burst) ->
+        let hbh_row =
+          let on_time = run_overlay_hbh ~seed ~mean_loss ~burst ~count in
+          [
+            Printf.sprintf "%.1f%%/%dms" (100. *. mean_loss) (burst / 1000);
+            "nm-hbh-overlay";
+            Table.cell_pct on_time;
+            "-";
+            "-";
+          ]
+        in
+        (List.map
+          (fun v ->
+            let on_time, overhead =
+              run_variant ~seed ~mean_loss ~burst ~count v
+            in
+            let predicted =
+              match v.service with
+              | Strovl.E2e.Realtime cfg ->
+                1. +. (float_of_int cfg.Strovl.Realtime_link.m_retrans *. mean_loss)
+              | Strovl.E2e.Fec cfg ->
+                1.
+                +. (float_of_int cfg.Strovl.Fec_link.r
+                   /. float_of_int cfg.Strovl.Fec_link.k)
+              | Strovl.E2e.Best_effort | Strovl.E2e.Reliable _ -> 1.
+            in
+            [
+              Printf.sprintf "%.1f%%/%dms" (100. *. mean_loss)
+                (burst / 1000);
+              v.name;
+              Table.cell_pct on_time;
+              Table.cell_f overhead;
+              Table.cell_f predicted;
+            ])
+          variants)
+        @ [ hbh_row ])
+      conditions
+  in
+  Table.make ~id:"fig4-nmstrikes"
+    ~title:
+      "Live TV over a 40ms path, 200ms one-way deadline, bursty \
+       (Gilbert-Elliott) loss"
+    ~header:[ "loss/burst"; "protocol"; "on-time"; "overhead"; "predicted" ]
+    ~notes:
+      [
+        "paper: NM-Strikes guarantees timeliness at cost ~1+Mp (SIV-A)";
+        "spread requests dodge the loss-correlation window; back-to-back \
+         requests die inside the same burst";
+        "overhead counts data retransmissions / parity (requests are ~8B); \
+         predicted = 1+Mp for NM, 1+r/k for FEC";
+        "FEC pays its overhead at zero loss and collapses when a burst \
+         exceeds r symbols per block - the reactive/proactive tradeoff";
+        "nm-hbh-overlay runs the same protocol per 8ms overlay link; at a \
+         200ms deadline both variants fit, and the hop-by-hop advantage \
+         appears at tight deadlines (see remote-manip) and for jitter \
+         (see fig3)";
+      ]
+    rows

@@ -1,0 +1,89 @@
+(** scada-timeliness: §V-B monitoring and control of critical infrastructure.
+
+    SCADA requires a control command to be delivered and executed within
+    100-200 ms of the monitoring data that triggered it, *including* an
+    intrusion-tolerant agreement among control replicas; and "the
+    cryptography required to support intrusion tolerance today becomes a
+    barrier to timely message delivery as the size of the system grows".
+
+    Model: field devices at LAX report (IT-Priority) to a control site at
+    CHI; four co-located replicas run a 3-round authenticated agreement
+    (1 ms LAN per round); the command returns (IT-Reliable) to LAX. Network
+    legs are *measured* on the overlay; cryptographic time is charged per
+    the cost model: every replica verifies every device report, plus the
+    agreement's own signatures. Compared: RSA-style signatures vs
+    MAC-based authentication. *)
+
+open Strovl_sim
+module Gen = Strovl_topo.Gen
+module Auth = Strovl_crypto.Auth
+
+let field = 2 (* LAX *)
+let control = 6 (* CHI *)
+let rounds = 3
+let replicas = 4
+let lan_round = Time.ms 1
+
+let measured_legs ~seed ~count =
+  let config = { Strovl.Net.default_config with Strovl.Net.authenticate = true } in
+  let sim = Common.build ~config ~seed (Gen.us_backbone ()) in
+  let mon, _ =
+    Common.flow_stats sim ~src:field ~dst:control
+      ~service:(Strovl.Packet.It_priority 2)
+      ~interval:(Time.ms 5) ~bytes:200 ~count ()
+  in
+  let cmd, _ =
+    Common.flow_stats sim ~src:control ~dst:field
+      ~service:Strovl.Packet.It_reliable ~interval:(Time.ms 5) ~bytes:200
+      ~count ()
+  in
+  (Strovl_apps.Collect.mean_ms mon, Strovl_apps.Collect.mean_ms cmd)
+
+let crypto_ms ~n ~verify ~sign =
+  (* Ingest: each replica verifies every device report for the decision
+     window; agreement: per round each replica signs once and verifies the
+     other replicas' messages. *)
+  let ingest = float_of_int (n * verify) in
+  let agreement =
+    float_of_int (rounds * ((replicas * sign) + (replicas * (replicas - 1) * verify)))
+  in
+  (ingest +. agreement) /. 1000.
+
+let run ?(quick = false) ~seed () =
+  let count = if quick then 50 else 200 in
+  let mon_ms, cmd_ms = measured_legs ~seed ~count in
+  let lan_ms = Time.to_ms_float (rounds * lan_round) in
+  let sizes = if quick then [ 100; 1000 ] else [ 10; 100; 1000; 3000; 10000 ] in
+  let mk name ~verify ~sign n =
+    let total = mon_ms +. cmd_ms +. lan_ms +. crypto_ms ~n ~verify ~sign in
+    [
+      string_of_int n;
+      name;
+      Table.cell_ms total;
+      (if total <= 200. then "yes" else "NO");
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        [
+          mk "rsa-style" ~verify:Auth.verify_sign_cost ~sign:Auth.sign_cost n;
+          mk "mac-based" ~verify:Auth.mac_cost ~sign:Auth.mac_cost n;
+        ])
+      sizes
+  in
+  Table.make ~id:"scada-timeliness"
+    ~title:
+      (Printf.sprintf
+         "SCADA command round: measured legs mon=%.1fms cmd=%.1fms + 3-round \
+          agreement + crypto vs #devices"
+         mon_ms cmd_ms)
+    ~header:[ "devices"; "auth"; "total"; "<=200ms" ]
+    ~notes:
+      [
+        "paper: crypto cost x system size becomes the timeliness barrier \
+         (SV-B)";
+        "signature verify 20us, sign 120us; MAC 1us (Auth cost model)";
+        "network legs measured on the authenticated overlay (SEA topology)";
+      ]
+    rows

@@ -1,0 +1,102 @@
+(** The experiment suite: one module per paper figure/claim (see DESIGN.md's
+    experiment index). Every experiment is a pure function of its seed and
+    returns a {!Table.t}; [all] enumerates them in paper order. *)
+
+module Table = Table
+module Common = Common
+module Fig3 = Fig3
+module Nmstrikes = Nmstrikes
+module Reroute = Reroute
+module Coverage = Coverage
+module Multicast = Multicast
+module Disjoint = Disjoint
+module Fairness = Fairness
+module Backpressure = Backpressure
+module Remote_manip = Remote_manip
+module Scada = Scada
+module Compound = Compound
+module Lossy_link = Lossy_link
+module Capacity = Capacity
+module Onnet = Onnet
+
+type experiment = {
+  id : string;
+  summary : string;
+  run : ?quick:bool -> seed:int64 -> unit -> Table.t;
+}
+
+let all : experiment list =
+  [
+    {
+      id = "arch-coverage";
+      summary = "global coverage of a few tens of nodes (SII-A)";
+      run = Coverage.run;
+    };
+    {
+      id = "reroute-bgp";
+      summary = "sub-second overlay reroute vs BGP convergence (SII-A)";
+      run = Reroute.run;
+    };
+    {
+      id = "onnet-offnet";
+      summary = "on-net vs off-net provider combinations (SII-A)";
+      run = Onnet.run;
+    };
+    {
+      id = "lossy-link";
+      summary = "routing on shared loss+latency link state (SII-B)";
+      run = Lossy_link.run;
+    };
+    {
+      id = "fig3-recovery";
+      summary = "hop-by-hop vs end-to-end recovery (Figure 3, SIII-A)";
+      run = Fig3.run;
+    };
+    {
+      id = "multicast";
+      summary = "overlay multicast tree vs unicast mesh (SIII-B)";
+      run = Multicast.run;
+    };
+    {
+      id = "fig4-nmstrikes";
+      summary = "NM-Strikes timeliness under bursty loss (Figure 4, SIV-A)";
+      run = Nmstrikes.run;
+    };
+    {
+      id = "disjoint-k";
+      summary = "k-disjoint paths vs compromised routers (SIV-B)";
+      run = Disjoint.run;
+    };
+    {
+      id = "fairness";
+      summary = "IT-Priority fairness under flooding attack (SIV-B)";
+      run = Fairness.run;
+    };
+    {
+      id = "backpressure";
+      summary = "IT-Reliable per-flow backpressure (SIV-B)";
+      run = Backpressure.run;
+    };
+    {
+      id = "remote-manip";
+      summary = "65ms haptic flows over dissemination graphs (SV-A)";
+      run = Remote_manip.run;
+    };
+    {
+      id = "scada-timeliness";
+      summary = "SCADA 200ms budget vs crypto cost x size (SV-B)";
+      run = Scada.run;
+    };
+    {
+      id = "compound-flow";
+      summary = "transcoding compound flow with facility failover (SV-C)";
+      run = Compound.run;
+    };
+    {
+      id = "node-capacity";
+      summary = "finite node CPU and data-center clusters (SII-D)";
+      run = Capacity.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,39 @@
+type t = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~header ?(notes = []) rows = { id; title; header; rows; notes }
+
+let cell_f x = Printf.sprintf "%.2f" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let cell_ms x = Printf.sprintf "%.2fms" x
+
+let print ppf t =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row row =
+    let cells =
+      List.mapi (fun c w -> pad (Option.value ~default:"" (List.nth_opt row c)) w) widths
+    in
+    String.concat "  " cells
+  in
+  Format.fprintf ppf "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf ppf "%s@." (render_row t.header);
+  Format.fprintf ppf "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.fprintf ppf "%s@." (render_row row)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes

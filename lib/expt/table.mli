@@ -1,0 +1,30 @@
+(** Plain-text result tables: the harness's equivalent of the paper's
+    figures. Each experiment returns one table; the bench binary prints them
+    all. *)
+
+type t = {
+  id : string;  (** experiment id from DESIGN.md, e.g. "fig3-recovery" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** expectations from the paper, caveats *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  header:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val print : Format.formatter -> t -> unit
+(** Aligned ASCII rendering with the id, title and notes. *)
+
+val cell_f : float -> string
+(** Formats a float with 2 decimals. *)
+
+val cell_pct : float -> string
+(** Formats a [0,1] fraction as a percentage. *)
+
+val cell_ms : float -> string

@@ -1,0 +1,7 @@
+(** The simulated Internet the overlay is deployed over: per-ISP backbones
+    with propagation delay, bursty loss, failures and BGP-style convergence
+    ({!Underlay}), and multihomed overlay links with finite access bandwidth
+    and queues ({!Link}). *)
+
+module Underlay = Underlay
+module Link = Link

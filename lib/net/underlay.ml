@@ -1,0 +1,243 @@
+open Strovl_sim
+module Gen = Strovl_topo.Gen
+module Graph = Strovl_topo.Graph
+module Dijkstra = Strovl_topo.Dijkstra
+
+type t = {
+  engine : Engine.t;
+  spec : Gen.spec;
+  seg_up : bool array; (* actual state, changes immediately *)
+  routing_up : bool array; (* what routing believes, lags by convergence *)
+  seg_loss : Loss.t array;
+  convergence : Time.t;
+  isp_graph : Graph.t array; (* per ISP; link l of isp graph = segment isp_seg.(isp).(l) *)
+  isp_seg : int array array;
+  (* Route cache: per ISP, per source site, the Dijkstra result under the
+     current routing view. Invalidated by bumping the epoch. *)
+  mutable epoch : int;
+  cache : (int * int, int * Dijkstra.result) Hashtbl.t; (* (isp,src) -> (epoch, result) *)
+  presence : bool array array; (* isp -> site -> has fiber *)
+  mutable peering_delay : Time.t;
+  mutable peering_loss : Loss.t;
+}
+
+let engine t = t.engine
+let spec t = t.spec
+let nsites t = Array.length t.spec.Gen.sites
+let nsegments t = Array.length t.spec.Gen.segments
+
+let create ?(convergence = Time.sec 40) engine spec =
+  let nseg = Array.length spec.Gen.segments in
+  let nsite = Array.length spec.Gen.sites in
+  let isp_graph = Array.init spec.Gen.nisps (fun _ -> Graph.create ~n:nsite) in
+  let isp_seg = Array.make spec.Gen.nisps [||] in
+  let tmp = Array.make spec.Gen.nisps [] in
+  Array.iteri
+    (fun si s ->
+      let g = isp_graph.(s.Gen.seg_isp) in
+      ignore (Graph.add_link g s.Gen.seg_a s.Gen.seg_b);
+      tmp.(s.Gen.seg_isp) <- si :: tmp.(s.Gen.seg_isp))
+    spec.Gen.segments;
+  Array.iteri (fun isp l -> isp_seg.(isp) <- Array.of_list (List.rev l)) tmp;
+  let presence =
+    Array.init spec.Gen.nisps (fun isp ->
+        Array.init nsite (fun site -> Graph.degree isp_graph.(isp) site > 0))
+  in
+  {
+    engine;
+    spec;
+    seg_up = Array.make nseg true;
+    routing_up = Array.make nseg true;
+    seg_loss = Array.make nseg Loss.perfect;
+    convergence;
+    isp_graph;
+    isp_seg;
+    epoch = 0;
+    cache = Hashtbl.create 64;
+    presence;
+    peering_delay = Time.ms 2;
+    peering_loss =
+      Loss.bernoulli (Rng.split_named (Engine.rng engine) "peering") ~p:0.01;
+  }
+
+let set_segment_loss t si loss =
+  if si < 0 || si >= nsegments t then invalid_arg "Underlay.set_segment_loss";
+  t.seg_loss.(si) <- loss
+
+let set_all_segment_loss t f =
+  Array.iteri (fun si s -> t.seg_loss.(si) <- f si s) t.spec.Gen.segments
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.cache
+
+let fail_segment t si =
+  if si < 0 || si >= nsegments t then invalid_arg "Underlay.fail_segment";
+  if t.seg_up.(si) then begin
+    t.seg_up.(si) <- false;
+    ignore
+      (Engine.schedule t.engine ~delay:t.convergence (fun () ->
+           (* Convergence: routing stops using the segment — unless it was
+              repaired in the meantime. *)
+           if not t.seg_up.(si) then begin
+             t.routing_up.(si) <- false;
+             bump_epoch t
+           end))
+  end
+
+let repair_segment t si =
+  if si < 0 || si >= nsegments t then invalid_arg "Underlay.repair_segment";
+  if not t.seg_up.(si) then begin
+    t.seg_up.(si) <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:t.convergence (fun () ->
+           if t.seg_up.(si) then begin
+             t.routing_up.(si) <- true;
+             bump_epoch t
+           end))
+  end
+
+let segment_up t si = t.seg_up.(si)
+
+let segments_between t a b =
+  let acc = ref [] in
+  Array.iteri
+    (fun si s ->
+      if (s.Gen.seg_a = a && s.Gen.seg_b = b) || (s.Gen.seg_a = b && s.Gen.seg_b = a)
+      then acc := si :: !acc)
+    t.spec.Gen.segments;
+  List.rev !acc
+
+let routes t ~isp ~src =
+  match Hashtbl.find_opt t.cache (isp, src) with
+  | Some (e, r) when e = t.epoch -> r
+  | _ ->
+    let g = t.isp_graph.(isp) in
+    let seg_of l = t.isp_seg.(isp).(l) in
+    let weight l = t.spec.Gen.segments.(seg_of l).Gen.seg_delay in
+    let usable l = t.routing_up.(seg_of l) in
+    let r = Dijkstra.run ~usable ~weight g src in
+    Hashtbl.replace t.cache (isp, src) (t.epoch, r);
+    r
+
+let routed_path t ~isp ~src ~dst =
+  if isp < 0 || isp >= t.spec.Gen.nisps then invalid_arg "Underlay: bad isp";
+  let r = routes t ~isp ~src in
+  match Dijkstra.path_to r dst with
+  | None -> None
+  | Some links -> Some (List.map (fun l -> t.isp_seg.(isp).(l)) links)
+
+let path_delay t ~isp ~src ~dst =
+  match routed_path t ~isp ~src ~dst with
+  | None -> None
+  | Some segs ->
+    Some
+      (List.fold_left
+         (fun acc si -> acc + t.spec.Gen.segments.(si).Gen.seg_delay)
+         0 segs)
+
+(* Fate of a packet injected now: walk the routed path accumulating delay;
+   the packet dies at the first segment that is actually down or whose loss
+   process fires at the crossing instant. *)
+let transmit_result t ~isp ~src ~dst =
+  match routed_path t ~isp ~src ~dst with
+  | None -> `Lost
+  | Some segs ->
+    let now = Engine.now t.engine in
+    let rec walk acc = function
+      | [] -> `Delivered acc
+      | si :: rest ->
+        if
+          t.seg_up.(si)
+          && not (Loss.drops t.seg_loss.(si) ~now:(Time.add now acc))
+        then walk (Time.add acc t.spec.Gen.segments.(si).Gen.seg_delay) rest
+        else `Lost
+    in
+    walk Time.zero segs
+
+let transmit t ~isp ~src ~dst ~deliver =
+  match transmit_result t ~isp ~src ~dst with
+  | `Lost -> ()
+  | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)
+
+(* --------------------------- off-net paths --------------------------- *)
+
+let set_peering t ~delay ~loss =
+  t.peering_delay <- delay;
+  t.peering_loss <- loss
+
+let isp_present t ~isp site = t.presence.(isp).(site)
+
+let peering_sites t ~isp_a ~isp_b =
+  let acc = ref [] in
+  for s = Array.length t.spec.Gen.sites - 1 downto 0 do
+    if t.presence.(isp_a).(s) && t.presence.(isp_b).(s) then acc := s :: !acc
+  done;
+  !acc
+
+(* The best peering site under the current routing views. *)
+let best_peering t ~isp_src ~isp_dst ~src ~dst =
+  List.fold_left
+    (fun best s ->
+      match
+        ( path_delay t ~isp:isp_src ~src ~dst:s,
+          path_delay t ~isp:isp_dst ~src:s ~dst )
+      with
+      | Some d1, Some d2 -> begin
+        let total = Time.add (Time.add d1 d2) t.peering_delay in
+        match best with
+        | Some (_, b) when b <= total -> best
+        | _ -> Some (s, total)
+      end
+      | _ -> best)
+    None
+    (peering_sites t ~isp_a:isp_src ~isp_b:isp_dst)
+
+let path_delay_pair t ~isp_src ~isp_dst ~src ~dst =
+  if isp_src = isp_dst then path_delay t ~isp:isp_src ~src ~dst
+  else Option.map snd (best_peering t ~isp_src ~isp_dst ~src ~dst)
+
+(* Walk one leg's segments starting [acc] after packet injection. *)
+let walk_leg t segs ~now acc0 =
+  let rec walk acc = function
+    | [] -> Some acc
+    | si :: rest ->
+      if
+        t.seg_up.(si)
+        && not (Loss.drops t.seg_loss.(si) ~now:(Time.add now acc))
+      then walk (Time.add acc t.spec.Gen.segments.(si).Gen.seg_delay) rest
+      else None
+  in
+  walk acc0 segs
+
+let transmit_result_pair t ~isp_src ~isp_dst ~src ~dst =
+  if isp_src = isp_dst then transmit_result t ~isp:isp_src ~src ~dst
+  else begin
+    match best_peering t ~isp_src ~isp_dst ~src ~dst with
+    | None -> `Lost
+    | Some (peer, _) -> begin
+      let now = Engine.now t.engine in
+      match
+        ( routed_path t ~isp:isp_src ~src ~dst:peer,
+          routed_path t ~isp:isp_dst ~src:peer ~dst )
+      with
+      | Some leg1, Some leg2 -> begin
+        match walk_leg t leg1 ~now Time.zero with
+        | None -> `Lost
+        | Some acc ->
+          if Loss.drops t.peering_loss ~now:(Time.add now acc) then `Lost
+          else begin
+            let acc = Time.add acc t.peering_delay in
+            match walk_leg t leg2 ~now acc with
+            | None -> `Lost
+            | Some total -> `Delivered total
+          end
+      end
+      | _ -> `Lost
+    end
+  end
+
+let transmit_pair t ~isp_src ~isp_dst ~src ~dst ~deliver =
+  match transmit_result_pair t ~isp_src ~isp_dst ~src ~dst with
+  | `Lost -> ()
+  | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)

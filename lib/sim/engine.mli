@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns the virtual clock and an event queue. Model components
+    schedule closures to run at future instants; [run] executes them in
+    timestamp order (FIFO among equal timestamps). Timers are cancellable,
+    which the overlay protocols use heavily (e.g. NM-Strikes cancels pending
+    retransmission requests when the packet arrives). *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes an engine whose root RNG is seeded with [seed]
+    (default [1L]). *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Components should derive their own stream with
+    {!Rng.split_named} at construction time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at >= now t]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:Time.t -> t -> unit
+(** Executes events until the queue drains or the clock would pass [until]
+    (default: drain). Events scheduled exactly at [until] still run. With a
+    finite [until], the clock is advanced to [until] on return even when no
+    event fell inside the window (virtual time passes regardless). *)
+
+val step : t -> bool
+(** Executes the single next event. Returns [false] if the queue is empty. *)
+
+val pending_events : t -> int
+
+val clear : t -> unit
+(** Drops all pending events (the clock is kept). *)

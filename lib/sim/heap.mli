@@ -1,0 +1,21 @@
+(** Minimal binary min-heap used as the discrete-event queue.
+
+    Keys are [(time, sequence)] pairs compared lexicographically; the
+    sequence number gives FIFO order among events scheduled for the same
+    instant, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val peek : 'a t -> (int * int * 'a) option
+(** [(time, seq, value)] of the minimum element, without removing it. *)
+
+val pop : 'a t -> (int * int * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,97 @@
+type ge_state = Good | Bad
+
+type ge = {
+  dur_rng : Rng.t;
+      (* Drives state-holding durations only. Because state evolution is a
+         pure function of elapsed time, two simulations with the same seed
+         see the *same burst timeline* regardless of how much traffic they
+         offer — which makes protocol variants comparable. *)
+  drop_rng : Rng.t; (* per-packet decisions inside a state *)
+  p_good_loss : float;
+  p_bad_loss : float;
+  mean_good : float; (* us *)
+  mean_bad : float; (* us *)
+  mutable state : ge_state;
+  mutable next_flip : Time.t; (* absolute time of the next state change *)
+}
+
+type t =
+  | Perfect
+  | Always
+  | Bernoulli of { rng : Rng.t; p : float }
+  | Gilbert of ge
+  | Outage of { period : Time.t; outage : Time.t; offset : Time.t }
+
+let perfect = Perfect
+let always = Always
+let bernoulli rng ~p = Bernoulli { rng; p }
+
+let gilbert_elliott rng ~p_good_loss ~p_bad_loss ~mean_good ~mean_bad =
+  let g =
+    {
+      dur_rng = Rng.split_named rng "durations";
+      drop_rng = Rng.split_named rng "drops";
+      p_good_loss;
+      p_bad_loss;
+      mean_good = float_of_int mean_good;
+      mean_bad = float_of_int mean_bad;
+      state = Good;
+      next_flip = 0;
+    }
+  in
+  (* Draw the first good-state duration up front. *)
+  g.next_flip <- int_of_float (Rng.exponential g.dur_rng g.mean_good);
+  Gilbert g
+
+let periodic_outage ~period ~outage ~offset = Outage { period; outage; offset }
+
+(* Advance the Gilbert–Elliott chain to [now] by consuming state-holding
+   durations. Lazy: only runs when the link is actually used. *)
+let ge_advance g now =
+  while g.next_flip <= now do
+    (match g.state with
+    | Good ->
+      g.state <- Bad;
+      g.next_flip <-
+        g.next_flip + int_of_float (1. +. Rng.exponential g.dur_rng g.mean_bad)
+    | Bad ->
+      g.state <- Good;
+      g.next_flip <-
+        g.next_flip + int_of_float (1. +. Rng.exponential g.dur_rng g.mean_good))
+  done
+
+let drops t ~now =
+  match t with
+  | Perfect -> false
+  | Always -> true
+  | Bernoulli { rng; p } -> Rng.bernoulli rng p
+  | Gilbert g ->
+    ge_advance g now;
+    let p = match g.state with Good -> g.p_good_loss | Bad -> g.p_bad_loss in
+    Rng.bernoulli g.drop_rng p
+  | Outage { period; outage; offset } ->
+    if now < offset then false
+    else begin
+      let phase = (now - offset) mod period in
+      phase < outage
+    end
+
+let mean_loss_rate = function
+  | Perfect -> 0.
+  | Always -> 1.
+  | Bernoulli { p; _ } -> p
+  | Gilbert g ->
+    ((g.mean_good *. g.p_good_loss) +. (g.mean_bad *. g.p_bad_loss))
+    /. (g.mean_good +. g.mean_bad)
+  | Outage { period; outage; _ } ->
+    float_of_int outage /. float_of_int period
+
+let in_burst t ~now =
+  match t with
+  | Perfect | Bernoulli _ -> false
+  | Always -> true
+  | Gilbert g ->
+    ge_advance g now;
+    g.state = Bad
+  | Outage { period; outage; offset } ->
+    now >= offset && (now - offset) mod period < outage

@@ -1,0 +1,54 @@
+(** Packet-loss processes for the underlay model.
+
+    The paper's real-time protocols (NM-Strikes, §IV-A) are explicitly
+    designed around *correlated, bursty* Internet loss — a single
+    retransmission would likely fall inside the same loss burst, which is
+    why requests and retransmissions are spaced in time. The
+    {!gilbert_elliott} process is the standard two-state Markov model for
+    such bursts; {!bernoulli} gives uncorrelated loss for baselines.
+
+    A process is sampled at packet-send instants with [drops p ~now]; state
+    evolution is computed lazily from the elapsed time, so idle links cost
+    nothing. *)
+
+type t
+
+val perfect : t
+(** Never drops. *)
+
+val bernoulli : Rng.t -> p:float -> t
+(** Each packet is dropped independently with probability [p]. *)
+
+val gilbert_elliott :
+  Rng.t ->
+  p_good_loss:float ->
+  p_bad_loss:float ->
+  mean_good:Time.t ->
+  mean_bad:Time.t ->
+  t
+(** Two-state continuous-time Markov chain. The process stays in the good
+    state for an exponentially distributed duration of mean [mean_good]
+    (loss probability [p_good_loss], typically ~0), then in the bad state
+    for mean [mean_bad] (loss probability [p_bad_loss], typically high).
+
+    Average loss rate = (g·pg + b·pb)/(g+b) where g,b are the mean
+    durations. *)
+
+val periodic_outage : period:Time.t -> outage:Time.t -> offset:Time.t -> t
+(** Deterministic on/off loss: drops everything during the [outage] window
+    at the start of each [period], beginning at [offset]. Used for
+    failure-injection experiments needing exact timing. *)
+
+val always : t
+(** Drops everything (a failed link). *)
+
+val drops : t -> now:Time.t -> bool
+(** [drops t ~now] evaluates whether a packet sent at [now] is lost.
+    [now] must be non-decreasing across calls for stateful processes. *)
+
+val mean_loss_rate : t -> float
+(** The analytic long-run loss rate of the process (for reporting). *)
+
+val in_burst : t -> now:Time.t -> bool
+(** For bursty processes, whether the process is in its lossy state at
+    [now] (evaluating state lazily); [false] for memoryless processes. *)

@@ -1,0 +1,44 @@
+(** Simulated time.
+
+    Time is an integer number of microseconds since the start of the
+    simulation. Using integers keeps the discrete-event engine exactly
+    deterministic (no floating-point drift in event ordering). *)
+
+type t = int
+(** Microseconds. Always non-negative inside a running simulation. *)
+
+val zero : t
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_ms_float : float -> t
+(** [of_ms_float x] converts a millisecond quantity such as [0.25] to
+    microseconds, rounding to nearest. *)
+
+val of_sec_float : float -> t
+
+val to_ms_float : t -> float
+val to_sec_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] is [a - b]; may be negative when [b > a]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+
+val infinity : t
+(** A time later than any event in practice ([max_int]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with an adaptive unit, e.g. ["1.500ms"], ["40s"]. *)
+
+val to_string : t -> string

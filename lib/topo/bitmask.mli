@@ -1,0 +1,43 @@
+(** Link bitmasks for unified source-based routing.
+
+    §II-B: "a unified source-based routing mechanism in which each packet is
+    stamped with a bitmask indicating exactly the set of overlay links it
+    should traverse (where each bit in the bitmask represents an overlay
+    link)". A structured overlay has few links (tens to low hundreds), so
+    the mask fits in a handful of 64-bit words carried in the packet header.
+
+    The same mechanism expresses a single path, k node-disjoint paths, an
+    arbitrary dissemination graph, or constrained flooding (all links). *)
+
+type t
+
+val create : nlinks:int -> t
+(** Empty mask sized for a topology with [nlinks] links. *)
+
+val of_links : nlinks:int -> Graph.link list -> t
+val full : nlinks:int -> t
+(** All links set — constrained flooding. *)
+
+val nlinks : t -> int
+val set : t -> Graph.link -> unit
+val clear : t -> Graph.link -> unit
+val mem : t -> Graph.link -> bool
+val count : t -> int
+(** Number of links set (the dissemination cost in links). *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val copy : t -> t
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val iter : t -> (Graph.link -> unit) -> unit
+val to_links : t -> Graph.link list
+
+val words : t -> int64 array
+(** Raw words, for sizing/serialization accounting (header bytes =
+    8 × words). *)
+
+val byte_size : t -> int
+(** Bytes this mask occupies in a packet header. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** Shortest paths over an overlay graph.
+
+    Used both offline (topology analysis) and online by the overlay's
+    link-state routing level: every node recomputes shortest paths from the
+    connectivity graph whenever a link-state update changes it (§II-B). *)
+
+type result = {
+  dist : int array; (** [dist.(v)] = shortest distance, [max_int] if unreachable *)
+  prev_link : int array; (** link used to reach [v] on a shortest path, -1 at source/unreachable *)
+  prev_node : int array; (** predecessor of [v], -1 at source/unreachable *)
+}
+
+val run :
+  ?usable:(Graph.link -> bool) ->
+  weight:(Graph.link -> int) ->
+  Graph.t ->
+  Graph.node ->
+  result
+(** Single-source shortest paths restricted to usable links. Weights must be
+    non-negative. Ties are broken deterministically by smaller link id. *)
+
+val path_to : result -> Graph.node -> Graph.link list option
+(** The source→target path as a list of link ids, [None] if unreachable. *)
+
+val node_path_to : result -> Graph.node -> Graph.node list option
+(** The source→target path as nodes, including both endpoints. *)
+
+val next_hops : Graph.t -> result -> (Graph.node * Graph.link) option array
+(** For each destination, the first hop (neighbor, link) from the source on
+    the shortest path; [None] for the source itself and unreachable nodes.
+    This is the forwarding table a link-state router needs. *)
+
+val distance :
+  ?usable:(Graph.link -> bool) ->
+  weight:(Graph.link -> int) ->
+  Graph.t ->
+  Graph.node ->
+  Graph.node ->
+  int option
+(** Convenience single-pair distance. *)
+
+val eccentricity : weight:(Graph.link -> int) -> Graph.t -> Graph.node -> int
+(** Largest finite shortest-path distance from the node ([max_int] if some
+    node is unreachable). *)
+
+val diameter : weight:(Graph.link -> int) -> Graph.t -> int
+(** Max eccentricity over all nodes. *)

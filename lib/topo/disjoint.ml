@@ -1,0 +1,186 @@
+(* Node-splitting reduction: overlay node v becomes v_in = 2v, v_out = 2v+1
+   with a capacity-1 internal arc (unbounded at the endpoints). Each
+   undirected overlay link (u,v) with weight w becomes arcs
+   u_out -> v_in and v_out -> u_in, capacity 1, cost w. A unit of flow is
+   then exactly one path, and node-disjointness is enforced by the internal
+   arcs. Successive shortest augmenting paths (Bellman–Ford on the residual
+   graph, which may contain negative arcs) give a min-cost solution. *)
+
+type arc = {
+  dst : int;
+  mutable cap : int;
+  cost : int;
+  link : int; (* overlay link id, or -1 for internal arcs *)
+}
+
+type net = {
+  nv : int;
+  arcs : arc array;
+  adj : int array array; (* arc indices per vertex *)
+}
+
+let v_in v = 2 * v
+let v_out v = (2 * v) + 1
+
+let build ?(usable = fun _ -> true) ~weight g src dst =
+  let n = Graph.n g in
+  let nv = 2 * n in
+  let arcs = ref [] and count = ref 0 in
+  let adj = Array.make nv [] in
+  let add a b cap cost link =
+    let id = !count in
+    arcs := { dst = b; cap; cost; link } :: !arcs;
+    arcs := { dst = a; cap = 0; cost = -cost; link } :: !arcs;
+    count := !count + 2;
+    adj.(a) <- id :: adj.(a);
+    adj.(b) <- (id + 1) :: adj.(b)
+  in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then max_int / 4 else 1 in
+    add (v_in v) (v_out v) cap 0 (-1)
+  done;
+  Graph.iter_links g (fun l u v ->
+      if usable l then begin
+        let w = weight l in
+        if w < 0 then invalid_arg "Disjoint: negative weight";
+        add (v_out u) (v_in v) 1 w l;
+        add (v_out v) (v_in u) 1 w l
+      end);
+  let arr = Array.of_list (List.rev !arcs) in
+  { nv; arcs = arr; adj = Array.map (fun l -> Array.of_list (List.rev l)) adj }
+
+(* One Bellman–Ford shortest-path augmentation on the residual network.
+   Returns true if a unit of flow was pushed. *)
+let augment net s t =
+  let dist = Array.make net.nv max_int in
+  let pre = Array.make net.nv (-1) in
+  dist.(s) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun u outs ->
+        if dist.(u) <> max_int then
+          Array.iter
+            (fun ai ->
+              let a = net.arcs.(ai) in
+              if a.cap > 0 && dist.(u) + a.cost < dist.(a.dst) then begin
+                dist.(a.dst) <- dist.(u) + a.cost;
+                pre.(a.dst) <- ai;
+                changed := true
+              end)
+            outs)
+      net.adj
+  done;
+  if dist.(t) = max_int then false
+  else begin
+    let rec walk v =
+      if v <> s then begin
+        let ai = pre.(v) in
+        net.arcs.(ai).cap <- net.arcs.(ai).cap - 1;
+        net.arcs.(ai lxor 1).cap <- net.arcs.(ai lxor 1).cap + 1;
+        walk net.arcs.(ai lxor 1).dst
+      end
+    in
+    walk t;
+    true
+  end
+
+(* After pushing f units, decompose the flow into f link paths. *)
+let decompose net g src dst =
+  let n = Graph.n g in
+  ignore n;
+  (* flow on a forward arc ai (even index) = cap of its reverse arc. *)
+  let used = Array.make (Array.length net.arcs) false in
+  let next_of v_out_vertex =
+    (* find an unconsumed outgoing link arc carrying flow *)
+    let outs = net.adj.(v_out_vertex) in
+    let found = ref None in
+    Array.iter
+      (fun ai ->
+        if !found = None && ai land 1 = 0 then begin
+          let a = net.arcs.(ai) in
+          if a.link >= 0 && (not used.(ai)) && net.arcs.(ai lxor 1).cap > 0 then
+            found := Some ai
+        end)
+      outs;
+    !found
+  in
+  let rec one_path acc v =
+    if v = dst then List.rev acc
+    else begin
+      match next_of (v_out v) with
+      | None -> List.rev acc (* should not happen for valid flow *)
+      | Some ai ->
+        used.(ai) <- true;
+        let a = net.arcs.(ai) in
+        let next_node = a.dst / 2 in
+        one_path (a.link :: acc) next_node
+    end
+  in
+  let rec collect acc =
+    match next_of (v_out src) with
+    | None -> List.rev acc
+    | Some _ ->
+      let p = one_path [] src in
+      collect (p :: acc)
+  in
+  collect []
+
+let max_disjoint ?usable g src dst =
+  if src = dst then invalid_arg "Disjoint.max_disjoint: src = dst";
+  let net = build ?usable ~weight:(fun _ -> 1) g src dst in
+  let flow = ref 0 in
+  while augment net (v_out src) (v_in dst) do
+    incr flow
+  done;
+  !flow
+
+let paths ?usable ~weight ~k g src dst =
+  if src = dst then invalid_arg "Disjoint.paths: src = dst";
+  if k <= 0 then []
+  else begin
+    let net = build ?usable ~weight g src dst in
+    let pushed = ref 0 in
+    while !pushed < k && augment net (v_out src) (v_in dst) do
+      incr pushed
+    done;
+    let ps = decompose net g src dst in
+    let path_weight p = List.fold_left (fun acc l -> acc + weight l) 0 p in
+    List.sort (fun a b -> compare (path_weight a) (path_weight b)) ps
+  end
+
+let path_nodes g start links =
+  let rec walk v = function
+    | [] -> [ v ]
+    | l :: rest -> v :: walk (Graph.other_end g l v) rest
+  in
+  walk start links
+
+let verify_disjoint g src dst paths =
+  let valid_path p =
+    match p with
+    | [] -> false
+    | _ ->
+      let nodes = path_nodes g src p in
+      (try List.hd (List.rev nodes) = dst with _ -> false)
+  in
+  let interior p =
+    match path_nodes g src p with
+    | [] | [ _ ] -> []
+    | _ :: rest -> List.filter (fun v -> v <> dst) (List.rev (List.tl (List.rev rest)))
+  in
+  List.for_all valid_path paths
+  &&
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun p ->
+      List.for_all
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            true
+          end)
+        (interior p))
+    paths

@@ -1,0 +1,41 @@
+(** Node-disjoint path computation.
+
+    The paper's source-based routing enables "the use of multiple
+    node-disjoint paths" (§II-B); §IV-B uses k node-disjoint paths so that a
+    source "can protect against up to k−1 compromised nodes anywhere in the
+    network, since each compromised node can disrupt at most one of the k
+    paths". Paths returned here share no intermediate node (they share only
+    the two endpoints).
+
+    Internally: node-splitting reduction to a unit-capacity flow, solved by
+    successive shortest augmentations (a node-disjoint Suurballe), so the
+    path set found has minimum *total* weight among all sets of that
+    cardinality. *)
+
+val max_disjoint :
+  ?usable:(Graph.link -> bool) -> Graph.t -> Graph.node -> Graph.node -> int
+(** Maximum number of node-disjoint paths between the two nodes
+    (equivalently, by Menger's theorem, the size of a minimum node cut
+    separating them). *)
+
+val paths :
+  ?usable:(Graph.link -> bool) ->
+  weight:(Graph.link -> int) ->
+  k:int ->
+  Graph.t ->
+  Graph.node ->
+  Graph.node ->
+  Graph.link list list
+(** [paths ~weight ~k g src dst] returns up to [k] node-disjoint paths, each
+    a list of link ids from [src] to [dst], minimizing total weight. Returns
+    fewer than [k] paths when the topology cannot support [k]; returns [[]]
+    when the nodes are disconnected. Paths are ordered by increasing
+    weight. *)
+
+val path_nodes : Graph.t -> Graph.node -> Graph.link list -> Graph.node list
+(** Expands a link path starting at the given node into the node sequence
+    (including both endpoints). *)
+
+val verify_disjoint : Graph.t -> Graph.node -> Graph.node -> Graph.link list list -> bool
+(** Checks that the given link paths are pairwise node-disjoint apart from
+    the shared endpoints, and each is a valid src→dst path. *)

@@ -1,0 +1,344 @@
+type site = { name : string; lat : float; lon : float }
+
+type segment = {
+  seg_a : int;
+  seg_b : int;
+  seg_isp : int;
+  seg_delay : Strovl_sim.Time.t;
+}
+
+type spec = {
+  sites : site array;
+  nisps : int;
+  segments : segment array;
+  overlay_links : (int * int) array;
+}
+
+let pi = 4.0 *. atan 1.0
+let deg2rad d = d *. pi /. 180.
+
+(* Haversine great-circle distance in km. *)
+let geo_km a b =
+  let r = 6371.0 in
+  let dlat = deg2rad (b.lat -. a.lat) and dlon = deg2rad (b.lon -. a.lon) in
+  let h =
+    (sin (dlat /. 2.) ** 2.)
+    +. (cos (deg2rad a.lat) *. cos (deg2rad b.lat) *. (sin (dlon /. 2.) ** 2.))
+  in
+  2. *. r *. asin (sqrt h)
+
+(* ~200 km/ms in fiber; 1.3 factor for route inefficiency vs great circle. *)
+let geo_delay_us a b =
+  let km = geo_km a b in
+  int_of_float (Float.round (km /. 200. *. 1.3 *. 1000.))
+
+let overlay_graph spec =
+  let g = Graph.create ~n:(Array.length spec.sites) in
+  Array.iter (fun (a, b) -> ignore (Graph.add_link g a b)) spec.overlay_links;
+  g
+
+let overlay_link_delay spec ~isp a b =
+  let n = Array.length spec.sites in
+  let g = Graph.create ~n in
+  let delays = ref [] in
+  Array.iter
+    (fun s ->
+      if s.seg_isp = isp then begin
+        ignore (Graph.add_link g s.seg_a s.seg_b);
+        delays := s.seg_delay :: !delays
+      end)
+    spec.segments;
+  let delay_arr = Array.of_list (List.rev !delays) in
+  let weight l = delay_arr.(l) in
+  Dijkstra.distance ~weight g a b
+
+(* ------------------------------------------------------------------ *)
+(* Named real-world topologies                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_sites l = Array.of_list (List.map (fun (name, lat, lon) -> { name; lat; lon }) l)
+
+let index_of sites name =
+  let found = ref (-1) in
+  Array.iteri (fun i s -> if s.name = name then found := i) sites;
+  if !found < 0 then invalid_arg ("Gen: unknown site " ^ name);
+  !found
+
+(* Build the per-ISP fiber segments for a designed link set: each ISP covers
+   the pairs in its footprint, with a small delay multiplier reflecting that
+   different providers route slightly differently. *)
+let mk_segments sites footprints =
+  let segs = ref [] in
+  List.iteri
+    (fun isp (mult, pairs) ->
+      List.iter
+        (fun (an, bn) ->
+          let a = index_of sites an and b = index_of sites bn in
+          let d =
+            int_of_float (Float.round (float_of_int (geo_delay_us sites.(a) sites.(b)) *. mult))
+          in
+          segs := { seg_a = a; seg_b = b; seg_isp = isp; seg_delay = d } :: !segs)
+        pairs)
+    footprints;
+  Array.of_list (List.rev !segs)
+
+let us_sites =
+  mk_sites
+    [
+      ("SEA", 47.61, -122.33);
+      ("SFO", 37.62, -122.38);
+      ("LAX", 34.05, -118.25);
+      ("PHX", 33.45, -112.07);
+      ("DEN", 39.74, -104.99);
+      ("DFW", 32.90, -97.04);
+      ("CHI", 41.88, -87.63);
+      ("ATL", 33.75, -84.39);
+      ("MIA", 25.76, -80.19);
+      ("WAS", 38.90, -77.04);
+      ("NYC", 40.71, -74.01);
+      ("BOS", 42.36, -71.06);
+    ]
+
+let us_designed_pairs =
+  [
+    ("SEA", "SFO");
+    ("SEA", "DEN");
+    ("SFO", "LAX");
+    ("SFO", "DEN");
+    ("LAX", "PHX");
+    ("LAX", "DFW");
+    ("PHX", "DFW");
+    ("DEN", "DFW");
+    ("DEN", "CHI");
+    ("DFW", "CHI");
+    ("DFW", "ATL");
+    ("CHI", "ATL");
+    ("CHI", "NYC");
+    ("CHI", "WAS");
+    ("ATL", "MIA");
+    ("ATL", "WAS");
+    ("MIA", "WAS");
+    ("WAS", "NYC");
+    ("NYC", "BOS");
+    ("CHI", "BOS");
+  ]
+
+let us_backbone () =
+  let sites = us_sites in
+  let remove skips pairs =
+    List.filter (fun p -> not (List.mem p skips)) pairs
+  in
+  (* ISP 0: national footprint covering every designed pair.
+     ISP 1: no Phoenix presence, slightly longer routes.
+     ISP 2: east-weighted footprint, no Miami–Washington fiber. *)
+  let footprints =
+    [
+      (1.0, us_designed_pairs);
+      (1.06, remove [ ("LAX", "PHX"); ("PHX", "DFW") ] us_designed_pairs);
+      (1.12, remove [ ("MIA", "WAS"); ("SEA", "DEN") ] us_designed_pairs);
+    ]
+  in
+  let overlay_links =
+    Array.of_list
+      (List.map
+         (fun (a, b) -> (index_of sites a, index_of sites b))
+         us_designed_pairs)
+  in
+  { sites; nisps = 3; segments = mk_segments sites footprints; overlay_links }
+
+let global_sites =
+  mk_sites
+    [
+      (* North America *)
+      ("SEA", 47.61, -122.33);
+      ("SFO", 37.62, -122.38);
+      ("LAX", 34.05, -118.25);
+      ("DEN", 39.74, -104.99);
+      ("DFW", 32.90, -97.04);
+      ("CHI", 41.88, -87.63);
+      ("ATL", 33.75, -84.39);
+      ("MIA", 25.76, -80.19);
+      ("WAS", 38.90, -77.04);
+      ("NYC", 40.71, -74.01);
+      ("TOR", 43.65, -79.38);
+      (* Europe *)
+      ("LON", 51.51, -0.13);
+      ("PAR", 48.86, 2.35);
+      ("AMS", 52.37, 4.90);
+      ("FRA", 50.11, 8.68);
+      ("MAD", 40.42, -3.70);
+      ("MIL", 45.46, 9.19);
+      ("STO", 59.33, 18.07);
+      (* Middle East / Africa *)
+      ("DXB", 25.20, 55.27);
+      ("JNB", -26.20, 28.05);
+      (* Asia *)
+      ("BOM", 19.08, 72.88);
+      ("SIN", 1.35, 103.82);
+      ("HKG", 22.32, 114.17);
+      ("TYO", 35.68, 139.69);
+      ("SEL", 37.57, 126.98);
+      (* Oceania *)
+      ("SYD", -33.87, 151.21);
+      (* South America *)
+      ("GRU", -23.55, -46.63);
+      ("EZE", -34.60, -58.38);
+    ]
+
+let global_designed_pairs =
+  [
+    (* US backbone *)
+    ("SEA", "SFO"); ("SEA", "DEN"); ("SFO", "LAX"); ("SFO", "DEN");
+    ("LAX", "DFW"); ("DEN", "DFW"); ("DEN", "CHI"); ("DFW", "CHI");
+    ("DFW", "ATL"); ("CHI", "ATL"); ("CHI", "NYC"); ("CHI", "TOR");
+    ("ATL", "MIA"); ("ATL", "WAS"); ("MIA", "WAS"); ("WAS", "NYC");
+    ("NYC", "TOR");
+    (* Transatlantic *)
+    ("NYC", "LON"); ("WAS", "PAR"); ("NYC", "AMS");
+    (* Europe *)
+    ("LON", "PAR"); ("LON", "AMS"); ("PAR", "FRA"); ("AMS", "FRA");
+    ("PAR", "MAD"); ("FRA", "MIL"); ("AMS", "STO"); ("FRA", "STO");
+    ("MAD", "MIL");
+    (* Europe <-> Middle East / Asia *)
+    ("FRA", "DXB"); ("MIL", "DXB"); ("DXB", "BOM"); ("BOM", "SIN");
+    ("DXB", "JNB"); ("MAD", "JNB");
+    (* Asia *)
+    ("SIN", "HKG"); ("HKG", "TYO"); ("HKG", "SEL"); ("TYO", "SEL");
+    (* Transpacific *)
+    ("TYO", "SEA"); ("TYO", "SFO"); ("SEL", "SEA");
+    (* Oceania *)
+    ("SYD", "SIN"); ("SYD", "LAX");
+    (* South America *)
+    ("MIA", "GRU"); ("GRU", "EZE"); ("ATL", "GRU");
+  ]
+
+let global_backbone () =
+  let sites = global_sites in
+  let remove skips pairs = List.filter (fun p -> not (List.mem p skips)) pairs in
+  let footprints =
+    [
+      (1.0, global_designed_pairs);
+      (1.05, remove [ ("SYD", "LAX"); ("MAD", "JNB") ] global_designed_pairs);
+    ]
+  in
+  let overlay_links =
+    Array.of_list
+      (List.map
+         (fun (a, b) -> (index_of sites a, index_of sites b))
+         global_designed_pairs)
+  in
+  { sites; nisps = 2; segments = mk_segments sites footprints; overlay_links }
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic topologies                                                *)
+(* ------------------------------------------------------------------ *)
+
+let synthetic_sites n =
+  Array.init n (fun i ->
+      { name = Printf.sprintf "n%d" i; lat = 0.; lon = float_of_int i })
+
+let chain ~n ~hop_delay =
+  if n < 2 then invalid_arg "Gen.chain: need at least 2 sites";
+  let pairs = Array.init (n - 1) (fun i -> (i, i + 1)) in
+  {
+    sites = synthetic_sites n;
+    nisps = 1;
+    segments =
+      Array.map
+        (fun (a, b) -> { seg_a = a; seg_b = b; seg_isp = 0; seg_delay = hop_delay })
+        pairs;
+    overlay_links = pairs;
+  }
+
+let ring ~n ~hop_delay =
+  if n < 3 then invalid_arg "Gen.ring: need at least 3 sites";
+  let pairs = Array.init n (fun i -> (i, (i + 1) mod n)) in
+  {
+    sites = synthetic_sites n;
+    nisps = 1;
+    segments =
+      Array.map
+        (fun (a, b) -> { seg_a = a; seg_b = b; seg_isp = 0; seg_delay = hop_delay })
+        pairs;
+    overlay_links = pairs;
+  }
+
+let circulant ~n ~jumps ~hop_delay =
+  if n < 3 then invalid_arg "Gen.circulant: need at least 3 sites";
+  let jumps = List.sort_uniq compare (List.filter (fun j -> j > 0 && 2 * j <= n) jumps) in
+  if jumps = [] then invalid_arg "Gen.circulant: no valid jumps";
+  let pairs = ref [] in
+  List.iter
+    (fun j ->
+      for i = 0 to n - 1 do
+        let k = (i + j) mod n in
+        (* Avoid double-adding the antipodal jump when n = 2j. *)
+        if i < k || (2 * j) mod n <> 0 || i < n / 2 then
+          if not (List.mem (min i k, max i k, j) !pairs) then
+            pairs := (min i k, max i k, j) :: !pairs
+      done)
+    jumps;
+  let pairs = List.rev !pairs in
+  {
+    sites = synthetic_sites n;
+    nisps = 1;
+    segments =
+      Array.of_list
+        (List.map
+           (fun (a, b, j) ->
+             { seg_a = a; seg_b = b; seg_isp = 0; seg_delay = j * hop_delay })
+           pairs);
+    overlay_links = Array.of_list (List.map (fun (a, b, _) -> (a, b)) pairs);
+  }
+
+let random_geometric rng ~n ~radius ~nisps =
+  if n < 2 then invalid_arg "Gen.random_geometric";
+  let nisps = max 1 nisps in
+  let attempt radius =
+    let pts = Array.init n (fun _ -> (Strovl_sim.Rng.float rng 1.0, Strovl_sim.Rng.float rng 1.0)) in
+    let dist i j =
+      let xi, yi = pts.(i) and xj, yj = pts.(j) in
+      sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.))
+    in
+    let links = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if dist i j < radius then links := (i, j) :: !links
+      done
+    done;
+    let overlay_links = Array.of_list (List.rev !links) in
+    let sites =
+      Array.init n (fun i ->
+          let x, y = pts.(i) in
+          { name = Printf.sprintf "n%d" i; lat = x; lon = y })
+    in
+    let segments =
+      Array.concat
+        (Array.to_list
+           (Array.mapi
+              (fun l (a, b) ->
+                let d =
+                  max 100 (int_of_float (dist a b *. 40_000.)) (* 1 unit = 40ms *)
+                in
+                let isp1 = l mod nisps and isp2 = (l + 1) mod nisps in
+                if nisps = 1 then
+                  [| { seg_a = a; seg_b = b; seg_isp = 0; seg_delay = d } |]
+                else
+                  [|
+                    { seg_a = a; seg_b = b; seg_isp = isp1; seg_delay = d };
+                    { seg_a = a; seg_b = b; seg_isp = isp2; seg_delay = d + (d / 10) };
+                  |])
+              overlay_links))
+    in
+    let spec = { sites; nisps; segments; overlay_links } in
+    if Array.length overlay_links > 0 && Graph.connected (overlay_graph spec) then
+      Some spec
+    else None
+  in
+  let rec loop radius tries =
+    match attempt radius with
+    | Some spec -> spec
+    | None ->
+      if tries > 20 then loop (radius *. 1.3) 0 else loop radius (tries + 1)
+  in
+  loop radius 0

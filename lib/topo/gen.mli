@@ -1,0 +1,73 @@
+(** Topology generators implementing the paper's resilient network
+    architecture (§II-A, Figure 1).
+
+    A [spec] describes the physical world the overlay is deployed into:
+    well-provisioned data-center *sites*, per-ISP fiber *segments* between
+    sites (each ISP backbone is its own segment set, so overlay paths on
+    different ISPs are physically disjoint), and the *designed overlay
+    links* — short (~10 ms) node-to-node edges chosen to follow the ISP
+    backbone maps rather than forming a clique.
+
+    The generators follow the paper's numbers: overlay nodes ≈10 ms apart,
+    ~150 ms sufficient to cross the globe, a few tens of nodes for global
+    coverage. *)
+
+type site = { name : string; lat : float; lon : float }
+
+val geo_delay_us : site -> site -> int
+(** One-way propagation delay estimate between two sites: great-circle
+    distance at ~200 km/ms in fiber, with a 1.3 route-inefficiency factor. *)
+
+type segment = {
+  seg_a : int;  (** site index *)
+  seg_b : int;  (** site index *)
+  seg_isp : int;  (** which ISP backbone owns this fiber *)
+  seg_delay : Strovl_sim.Time.t;  (** one-way propagation delay *)
+}
+
+type spec = {
+  sites : site array;
+  nisps : int;
+  segments : segment array;
+  overlay_links : (int * int) array;
+      (** designed overlay topology; index in this array = overlay link id *)
+}
+
+val overlay_graph : spec -> Graph.t
+(** The overlay graph: node [i] = site [i]; link ids equal indices into
+    [spec.overlay_links]. *)
+
+val overlay_link_delay : spec -> isp:int -> int -> int -> Strovl_sim.Time.t option
+(** Shortest-path one-way delay between two sites inside one ISP backbone,
+    [None] if that ISP cannot connect them. *)
+
+val us_backbone : unit -> spec
+(** 12-site continental-US topology (modeled on the Spines/LTN deployments):
+    sites ~10 ms apart, 3 ISP backbones with distinct (overlapping but not
+    identical) fiber footprints, coast-to-coast ~35–40 ms. *)
+
+val global_backbone : unit -> spec
+(** ~28 sites worldwide for the coverage experiment: verifies that a few
+    tens of well-placed nodes give ≤150 ms reach between (almost) any pair
+    with ~10 ms adjacent hops. *)
+
+val chain : n:int -> hop_delay:Strovl_sim.Time.t -> spec
+(** [n] sites in a line, one ISP, consecutive sites linked: the Figure 3
+    setting (e.g. [chain ~n:6 ~hop_delay:(Time.ms 10)] = five 10 ms overlay
+    links spanning a 50 ms path). *)
+
+val ring : n:int -> hop_delay:Strovl_sim.Time.t -> spec
+
+val circulant :
+  n:int -> jumps:int list -> hop_delay:Strovl_sim.Time.t -> spec
+(** Circulant graph C_n(jumps): node i links to i±j for each jump. E.g.
+    [circulant ~n:8 ~jumps:[1;2]] is 4-regular with vertex connectivity 4 —
+    the testbed for the k-node-disjoint-paths claims, which need endpoints
+    of degree ≥ k (§IV-B). Jump-j links get delay j × hop_delay. *)
+
+val random_geometric :
+  Strovl_sim.Rng.t -> n:int -> radius:float -> nisps:int -> spec
+(** Random sites on the unit square, overlay links between sites closer than
+    [radius] (delay proportional to distance, 1 unit = 40 ms), each segment
+    randomly assigned to an ISP plus a parallel segment on another ISP.
+    Regenerated until connected. Used by property tests. *)

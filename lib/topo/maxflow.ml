@@ -1,0 +1,137 @@
+(* Arcs are stored in one growable array; arc [2i] is a forward arc and
+   [2i+1] its residual reverse, so the companion of arc [a] is [a lxor 1]. *)
+
+type arc = { src : int; dst : int; cap0 : int; mutable cap : int }
+
+type t = {
+  n : int;
+  mutable arcs : arc array;
+  mutable narcs : int;
+  adj : int list array; (* arc indices out of each vertex, reversed *)
+  mutable built : bool;
+  mutable adj_arr : int array array;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Maxflow.create: n must be positive";
+  {
+    n;
+    arcs = [||];
+    narcs = 0;
+    adj = Array.make n [];
+    built = false;
+    adj_arr = [||];
+  }
+
+let push_arc t a =
+  let cap = Array.length t.arcs in
+  if t.narcs = cap then begin
+    let ncap = if cap = 0 then 32 else cap * 2 in
+    let narr = Array.make ncap a in
+    Array.blit t.arcs 0 narr 0 t.narcs;
+    t.arcs <- narr
+  end;
+  t.arcs.(t.narcs) <- a;
+  t.narcs <- t.narcs + 1
+
+let add_arc t ~src ~dst ~cap =
+  if t.built then invalid_arg "Maxflow.add_arc: network already built";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_arc: vertex out of range";
+  if cap < 0 then invalid_arg "Maxflow.add_arc: negative capacity";
+  let id = t.narcs in
+  push_arc t { src; dst; cap0 = cap; cap };
+  push_arc t { src = dst; dst = src; cap0 = 0; cap = 0 };
+  t.adj.(src) <- id :: t.adj.(src);
+  t.adj.(dst) <- (id + 1) :: t.adj.(dst);
+  id
+
+let build t =
+  if not t.built then begin
+    t.adj_arr <- Array.map (fun l -> Array.of_list (List.rev l)) t.adj;
+    t.built <- true
+  end
+
+let bfs t src dst level =
+  Array.fill level 0 t.n (-1);
+  level.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun ai ->
+        let a = t.arcs.(ai) in
+        if a.cap > 0 && level.(a.dst) < 0 then begin
+          level.(a.dst) <- level.(u) + 1;
+          Queue.add a.dst q
+        end)
+      t.adj_arr.(u)
+  done;
+  level.(dst) >= 0
+
+let rec dfs t u dst pushed level iter =
+  if u = dst then pushed
+  else begin
+    let result = ref 0 in
+    let outs = t.adj_arr.(u) in
+    while !result = 0 && iter.(u) < Array.length outs do
+      let ai = outs.(iter.(u)) in
+      let a = t.arcs.(ai) in
+      if a.cap > 0 && level.(a.dst) = level.(u) + 1 then begin
+        let d = dfs t a.dst dst (min pushed a.cap) level iter in
+        if d > 0 then begin
+          a.cap <- a.cap - d;
+          let back = t.arcs.(ai lxor 1) in
+          back.cap <- back.cap + d;
+          result := d
+        end
+        else iter.(u) <- iter.(u) + 1
+      end
+      else iter.(u) <- iter.(u) + 1
+    done;
+    !result
+  end
+
+let max_flow t ~src ~dst =
+  if src = dst then invalid_arg "Maxflow.max_flow: src = dst";
+  build t;
+  let level = Array.make t.n (-1) in
+  let flow = ref 0 in
+  while bfs t src dst level do
+    let iter = Array.make t.n 0 in
+    let rec push () =
+      let d = dfs t src dst max_int level iter in
+      if d > 0 then begin
+        flow := !flow + d;
+        push ()
+      end
+    in
+    push ()
+  done;
+  !flow
+
+let flow_on t id =
+  if id < 0 || id >= t.narcs || id land 1 = 1 then
+    invalid_arg "Maxflow.flow_on: not a forward arc id";
+  let a = t.arcs.(id) in
+  a.cap0 - a.cap
+
+let min_cut_reachable t ~src =
+  build t;
+  let seen = Array.make t.n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun ai ->
+        let a = t.arcs.(ai) in
+        if a.cap > 0 && not seen.(a.dst) then begin
+          seen.(a.dst) <- true;
+          Queue.add a.dst q
+        end)
+      t.adj_arr.(u)
+  done;
+  seen

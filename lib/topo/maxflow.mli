@@ -1,0 +1,28 @@
+(** Maximum flow on a directed graph (Dinic's algorithm).
+
+    Substrate for the redundant-dissemination machinery: the number of node-
+    disjoint paths between two overlay nodes is a unit-capacity max-flow on
+    the node-split graph, and the paper's claim that "k node-disjoint paths
+    protect against up to k−1 compromised nodes anywhere" (§IV-B) is exactly
+    Menger's theorem. *)
+
+type t
+
+val create : n:int -> t
+(** A flow network on vertices [0 .. n-1] with no arcs. *)
+
+val add_arc : t -> src:int -> dst:int -> cap:int -> int
+(** Adds a directed arc with the given capacity (its reverse residual arc is
+    created automatically with capacity 0) and returns an arc id usable with
+    {!flow_on}. *)
+
+val max_flow : t -> src:int -> dst:int -> int
+(** Computes (and saturates) the maximum flow. May be called once per
+    network. *)
+
+val flow_on : t -> int -> int
+(** Flow currently routed on the given arc (after {!max_flow}). *)
+
+val min_cut_reachable : t -> src:int -> bool array
+(** After {!max_flow}: vertices reachable from [src] in the residual graph
+    (the source side of a minimum cut). *)

@@ -1,0 +1,151 @@
+(* Tests for compromised-node behaviours and attack scenarios. *)
+
+open Strovl_sim
+module Gen = Strovl_topo.Gen
+module P = Strovl.Packet
+module B = Strovl_attack.Behavior
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build () =
+  let engine = Engine.create ~seed:55L () in
+  let net = Strovl.Net.create engine (Gen.chain ~n:3 ~hop_delay:(Time.ms 10)) in
+  Strovl.Net.start net;
+  Strovl.Net.settle net;
+  (engine, net, Rng.create 1L)
+
+let run_ms engine ms = Engine.run ~until:(Time.add (Engine.now engine) (Time.ms ms)) engine
+
+(* Flow 0 -> 2 passes through node 1 on a 3-node chain. *)
+let flow_through_middle engine net ~count =
+  let tx = Strovl.Client.attach (Strovl.Net.node net 0) ~port:1 in
+  let rx = Strovl.Client.attach (Strovl.Net.node net 2) ~port:2 in
+  let n = ref 0 in
+  Strovl.Client.set_receiver rx (fun _ -> incr n);
+  let s = Strovl.Client.sender tx ~dest:(P.To_node 2) ~dport:2 () in
+  for _ = 1 to count do
+    ignore (Strovl.Client.send s ());
+    run_ms engine 5
+  done;
+  run_ms engine 500;
+  !n
+
+let is_data_helper () =
+  check_bool "data" true
+    (B.is_data
+       (Strovl.Msg.Data
+          {
+            cls = 0;
+            lseq = 1;
+            pkt =
+              P.make
+                ~flow:{ P.f_src = 0; f_sport = 0; f_dest = P.To_node 1; f_dport = 0 }
+                ~routing:P.Link_state ~service:P.Best_effort ~seq:0 ~sent_at:0
+                ~bytes:1 ();
+            auth = None;
+          }));
+  check_bool "hello is not data" false (B.is_data (Strovl.Msg.Hello { hseq = 1; sent_at = 0 }))
+
+let blackhole_eats_data_keeps_topology () =
+  let engine, net, rng = build () in
+  B.apply net ~rng ~node:1 B.Blackhole;
+  let n = flow_through_middle engine net ~count:20 in
+  check_int "all data eaten" 0 n;
+  (* Hellos still flow: links stay up in everyone's view. *)
+  check_bool "topology looks healthy" true
+    (Strovl.Conn_graph.usable (Strovl.Node.conn (Strovl.Net.node net 0)) 0
+    && Strovl.Conn_graph.usable (Strovl.Node.conn (Strovl.Net.node net 2)) 1)
+
+let crash_takes_links_down () =
+  let engine, net, rng = build () in
+  B.apply net ~rng ~node:1 B.Crash;
+  run_ms engine 2000;
+  check_bool "neighbors declared links down" true
+    (not (Strovl.Node.link_up_view (Strovl.Net.node net 0) ~link:0))
+
+let heal_restores () =
+  let engine, net, rng = build () in
+  B.apply net ~rng ~node:1 B.Blackhole;
+  check_int "eaten" 0 (flow_through_middle engine net ~count:5);
+  B.heal net ~node:1;
+  check_int "restored" 5 (flow_through_middle engine net ~count:5)
+
+let selective_drops_matching_flow () =
+  let engine, net, rng = build () in
+  B.apply net ~rng ~node:1 (B.Selective (fun f -> f.P.f_sport = 1));
+  let n_victim = flow_through_middle engine net ~count:10 in
+  check_int "victim flow eaten" 0 n_victim;
+  (* A flow from another port passes. *)
+  let tx = Strovl.Client.attach (Strovl.Net.node net 0) ~port:9 in
+  let rx = Strovl.Client.attach (Strovl.Net.node net 2) ~port:8 in
+  let n = ref 0 in
+  Strovl.Client.set_receiver rx (fun _ -> incr n);
+  let s = Strovl.Client.sender tx ~dest:(P.To_node 2) ~dport:8 () in
+  for _ = 1 to 10 do
+    ignore (Strovl.Client.send s ());
+    run_ms engine 5
+  done;
+  run_ms engine 500;
+  check_int "other flow untouched" 10 !n
+
+let delay_data_defers () =
+  let engine, net, rng = build () in
+  let tx = Strovl.Client.attach (Strovl.Net.node net 0) ~port:1 in
+  let rx = Strovl.Client.attach (Strovl.Net.node net 2) ~port:2 in
+  let lat = ref 0 in
+  Strovl.Client.set_receiver rx (fun pkt ->
+      lat := Time.sub (Engine.now engine) pkt.P.sent_at);
+  let s = Strovl.Client.sender tx ~dest:(P.To_node 2) ~dport:2 () in
+  ignore (Strovl.Client.send s ());
+  run_ms engine 500;
+  let base = !lat in
+  B.apply net ~rng ~node:1 (B.Delay_data (Time.ms 50));
+  ignore (Strovl.Client.send s ());
+  run_ms engine 500;
+  check_bool "50ms added" true (!lat >= base + Time.ms 50)
+
+let drop_fraction_statistical () =
+  let engine, net, rng = build () in
+  B.apply net ~rng ~node:1 (B.Drop_fraction 0.5);
+  let n = flow_through_middle engine net ~count:200 in
+  check_bool "roughly half" true (n > 60 && n < 140)
+
+let pick_interior_excludes_endpoints () =
+  let g = Gen.overlay_graph (Gen.us_backbone ()) in
+  let rng = Rng.create 2L in
+  let picked = Strovl_attack.Scenario.pick_interior ~rng ~graph:g ~src:0 ~dst:8 ~k:5 in
+  check_int "k picked" 5 (List.length picked);
+  check_bool "excludes src/dst" true
+    (not (List.mem 0 picked) && not (List.mem 8 picked));
+  check_int "distinct" 5 (List.length (List.sort_uniq compare picked))
+
+let flooder_generates_load () =
+  let engine, net, _rng = build () in
+  let src =
+    Strovl_attack.Scenario.flooder ~net ~node:0 ~port:66 ~dest:(P.To_node 2)
+      ~dport:2 ~service:(P.It_priority 1) ~rate_pps:1000 ~bytes:500
+  in
+  run_ms engine 1000;
+  check_bool "~1000 pps" true
+    (Strovl_apps.Source.sent src > 900 && Strovl_apps.Source.sent src <= 1100)
+
+let () =
+  Alcotest.run "strovl_attack"
+    [
+      ( "behavior",
+        [
+          Alcotest.test_case "is_data" `Quick is_data_helper;
+          Alcotest.test_case "blackhole" `Quick blackhole_eats_data_keeps_topology;
+          Alcotest.test_case "crash" `Quick crash_takes_links_down;
+          Alcotest.test_case "heal" `Quick heal_restores;
+          Alcotest.test_case "selective" `Quick selective_drops_matching_flow;
+          Alcotest.test_case "delay" `Quick delay_data_defers;
+          Alcotest.test_case "drop fraction" `Quick drop_fraction_statistical;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "pick interior" `Quick pick_interior_excludes_endpoints;
+          Alcotest.test_case "flooder" `Quick flooder_generates_load;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+(* Tests for the SipHash PRF and the node-authentication layer. *)
+
+open Strovl_crypto
+
+let check_bool = Alcotest.(check bool)
+
+let siphash_reference_vectors () =
+  check_bool "SipHash-2-4 reference vectors" true (Siphash.self_test ())
+
+let siphash_key_sensitivity () =
+  let k1 = Siphash.key_of_string "key-one" in
+  let k2 = Siphash.key_of_string "key-two" in
+  check_bool "different keys differ" true
+    (Siphash.hash k1 "message" <> Siphash.hash k2 "message");
+  check_bool "different messages differ" true
+    (Siphash.hash k1 "message-a" <> Siphash.hash k1 "message-b");
+  Alcotest.(check int64) "deterministic" (Siphash.hash k1 "m") (Siphash.hash k1 "m")
+
+let siphash_key_padding () =
+  (* Keys shorter than 16 bytes are zero padded; a 16-byte prefix match with
+     different tails must produce different keys. *)
+  let k_short = Siphash.key_of_string "abc" in
+  let k_short' = Siphash.key_of_string "abc\000\000" in
+  Alcotest.(check int64) "zero padding canonical"
+    (Siphash.hash k_short "x") (Siphash.hash k_short' "x");
+  let k_long1 = Siphash.key_of_string "0123456789abcdefXXX" in
+  let k_long2 = Siphash.key_of_string "0123456789abcdefYYY" in
+  Alcotest.(check int64) "only first 16 bytes used"
+    (Siphash.hash k_long1 "x") (Siphash.hash k_long2 "x")
+
+let siphash_bytes_variant () =
+  let k = Siphash.key_of_string "k" in
+  Alcotest.(check int64) "hash_bytes = hash"
+    (Siphash.hash k "hello") (Siphash.hash_bytes k (Bytes.of_string "hello"))
+
+let qcheck_siphash_distributes =
+  QCheck.Test.make ~name:"distinct messages rarely collide" ~count:300
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let k = Siphash.key_of_string "collision-test" in
+      a = b || Siphash.hash k a <> Siphash.hash k b)
+
+let auth_mac_roundtrip () =
+  let r = Auth.create_registry ~master:"secret" ~nodes:5 in
+  let tag = Auth.mac r ~src:1 ~dst:2 "hello" in
+  check_bool "verify ok" true (Auth.verify_mac r ~src:1 ~dst:2 "hello" tag);
+  check_bool "wrong msg" false (Auth.verify_mac r ~src:1 ~dst:2 "hellO" tag);
+  check_bool "wrong pair" false (Auth.verify_mac r ~src:2 ~dst:1 "hello" tag)
+
+let auth_sign_roundtrip () =
+  let r = Auth.create_registry ~master:"secret" ~nodes:5 in
+  let tag = Auth.sign r ~node:3 "lsu" in
+  check_bool "verify ok" true (Auth.verify_sign r ~node:3 "lsu" tag);
+  check_bool "wrong origin" false (Auth.verify_sign r ~node:4 "lsu" tag);
+  check_bool "tampered" false (Auth.verify_sign r ~node:3 "lsu!" tag)
+
+let auth_registry_independence () =
+  let r1 = Auth.create_registry ~master:"alpha" ~nodes:3 in
+  let r2 = Auth.create_registry ~master:"beta" ~nodes:3 in
+  let tag = Auth.sign r1 ~node:0 "m" in
+  check_bool "different master fails" false (Auth.verify_sign r2 ~node:0 "m" tag)
+
+let auth_bounds () =
+  let r = Auth.create_registry ~master:"m" ~nodes:2 in
+  Alcotest.check_raises "node range" (Invalid_argument "Auth: node out of range")
+    (fun () -> ignore (Auth.sign r ~node:2 "x"))
+
+let auth_costs_ordered () =
+  check_bool "mac cheapest" true (Auth.mac_cost < Auth.verify_sign_cost);
+  check_bool "sign most expensive" true (Auth.verify_sign_cost < Auth.sign_cost)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "strovl_crypto"
+    [
+      ( "siphash",
+        [
+          Alcotest.test_case "reference vectors" `Quick siphash_reference_vectors;
+          Alcotest.test_case "key sensitivity" `Quick siphash_key_sensitivity;
+          Alcotest.test_case "key padding" `Quick siphash_key_padding;
+          Alcotest.test_case "bytes variant" `Quick siphash_bytes_variant;
+          q qcheck_siphash_distributes;
+        ] );
+      ( "auth",
+        [
+          Alcotest.test_case "mac roundtrip" `Quick auth_mac_roundtrip;
+          Alcotest.test_case "sign roundtrip" `Quick auth_sign_roundtrip;
+          Alcotest.test_case "registry independence" `Quick auth_registry_independence;
+          Alcotest.test_case "bounds" `Quick auth_bounds;
+          Alcotest.test_case "cost model ordered" `Quick auth_costs_ordered;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Smoke + invariant tests over the experiment suite: every experiment must
+   run in quick mode and its table must carry the paper's qualitative
+   shape. These are the repository's "does the reproduction reproduce"
+   checks; the bench binary prints the full-size versions. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let seed = 1234L
+
+let pct cell = Scanf.sscanf cell "%f%%" (fun f -> f)
+let ms cell = Scanf.sscanf cell "%fms" (fun f -> f)
+
+let find_row table ~prefix =
+  match
+    List.find_opt
+      (fun row ->
+        match row with
+        | c0 :: rest ->
+          List.exists (fun c -> c = prefix) (c0 :: rest)
+          && List.mem prefix (List.filteri (fun i _ -> i < 2) (c0 :: rest))
+        | [] -> false)
+      table.Strovl_expt.Table.rows
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "row %s not found" prefix
+
+let registry_complete () =
+  check_int "14 experiments" 14 (List.length Strovl_expt.all);
+  List.iter
+    (fun (e : Strovl_expt.experiment) ->
+      check_bool "find works" true (Strovl_expt.find e.Strovl_expt.id <> None))
+    Strovl_expt.all;
+  check_bool "unknown id" true (Strovl_expt.find "nope" = None)
+
+let coverage_claims () =
+  let t = Strovl_expt.Coverage.run ~quick:true ~seed () in
+  let row p = find_row t ~prefix:p in
+  check_bool "a few tens of nodes" true
+    (int_of_string (List.nth (row "overlay nodes") 1) <= 40);
+  check_bool "median link ~10ms" true (ms (List.nth (row "median link latency") 1) <= 12.);
+  check_bool "most pairs within 150ms" true
+    (pct (List.nth (row "pairs reachable <=150ms") 1) >= 95.)
+
+let multicast_saves () =
+  let t = Strovl_expt.Multicast.run ~quick:true ~seed () in
+  match t.Strovl_expt.Table.rows with
+  | [ row ] ->
+    check_bool "savings > 1" true (float_of_string (List.nth row 4) > 1.0);
+    check_bool "full delivery" true (pct (List.nth row 5) >= 99.9);
+    (* measured tx/pkt matches analytic tree size *)
+    check_bool "measured = analytic" true
+      (Float.abs (float_of_string (List.nth row 1) -. float_of_string (List.nth row 2))
+      < 0.01)
+  | _ -> Alcotest.fail "expected one quick row"
+
+let backpressure_isolates () =
+  let t = Strovl_expt.Backpressure.run ~quick:true ~seed () in
+  let blocked = find_row t ~prefix:"SEA->MIA (dst compromised)" in
+  let healthy = find_row t ~prefix:"SEA->BOS (healthy)" in
+  check_bool "blocked flow starved" true (pct (List.nth blocked 3) < 10.);
+  check_bool "blocked flow refused at source" true (int_of_string (List.nth blocked 2) > 0);
+  check_bool "healthy flow fine" true (pct (List.nth healthy 3) > 95.);
+  check_int "healthy never refused" 0 (int_of_string (List.nth healthy 2))
+
+let disjoint_bound_tight () =
+  let t = Strovl_expt.Disjoint.run ~quick:true ~seed () in
+  let get scheme c =
+    let row =
+      List.find
+        (fun r -> List.nth r 0 = scheme && List.nth r 1 = string_of_int c)
+        t.Strovl_expt.Table.rows
+    in
+    pct (List.nth row 2)
+  in
+  check_bool "single c0 ok" true (get "single-path" 0 > 99.);
+  check_bool "single c1 dead" true (get "single-path" 1 < 1.);
+  check_bool "2-disjoint c1 ok" true (get "2-disjoint" 1 > 99.);
+  check_bool "2-disjoint c2 dead" true (get "2-disjoint" 2 < 1.);
+  check_bool "3-disjoint c2 ok" true (get "3-disjoint" 2 > 99.);
+  check_bool "flooding c2 ok" true (get "flooding" 2 > 99.)
+
+let scada_crypto_wall () =
+  let t = Strovl_expt.Scada.run ~quick:true ~seed () in
+  let total auth n =
+    let row =
+      List.find
+        (fun r -> List.nth r 0 = string_of_int n && List.nth r 1 = auth)
+        t.Strovl_expt.Table.rows
+    in
+    ms (List.nth row 2)
+  in
+  check_bool "small system fits with rsa" true (total "rsa-style" 100 <= 200.);
+  check_bool "mac scales further" true (total "mac-based" 1000 < total "rsa-style" 1000)
+
+let lossy_link_detour () =
+  let t = Strovl_expt.Lossy_link.run ~quick:true ~seed () in
+  let latency_only = find_row t ~prefix:"latency-only metric" in
+  let loss_aware = find_row t ~prefix:"loss-aware metric" in
+  check_bool "latency-only suffers the loss" true (pct (List.nth latency_only 1) < 95.);
+  Alcotest.(check string) "latency-only stays" "no" (List.nth latency_only 3);
+  check_bool "loss-aware restores delivery" true (pct (List.nth loss_aware 1) > 98.);
+  Alcotest.(check string) "loss-aware detours" "yes" (List.nth loss_aware 3)
+
+let capacity_cluster_scaling () =
+  let t = Strovl_expt.Capacity.run ~quick:true ~seed () in
+  let get pps cluster =
+    let row =
+      List.find
+        (fun r -> List.nth r 0 = string_of_int pps && List.nth r 1 = string_of_int cluster)
+        t.Strovl_expt.Table.rows
+    in
+    pct (List.nth row 2)
+  in
+  check_bool "under capacity ok" true (get 4_000 1 > 99.);
+  check_bool "overload sheds ~ rate/offered" true
+    (let d = get 12_000 1 in
+     d > 30. && d < 55.);
+  check_bool "cluster absorbs" true (get 12_000 4 > 99.)
+
+let onnet_beats_offnet () =
+  let t = Strovl_expt.Onnet.run ~quick:true ~seed () in
+  let on = find_row t ~prefix:"all links on-net" in
+  let off = find_row t ~prefix:"all links off-net (ISP0|ISP1)" in
+  check_bool "on-net full delivery" true (pct (List.nth on 1) > 99.);
+  check_bool "off-net loses at peering" true (pct (List.nth off 1) < pct (List.nth on 1));
+  check_bool "off-net slower" true (ms (List.nth off 2) > ms (List.nth on 2))
+
+let reroute_vs_bgp () =
+  let t = Strovl_expt.Reroute.run ~quick:true ~seed () in
+  match t.Strovl_expt.Table.rows with
+  | [ [ _; ov_mh ]; [ _; ov_rr ]; [ _; bgp ] ] ->
+    check_bool "overlay multihoming sub-second" true (ms ov_mh < 1000.);
+    check_bool "overlay reroute sub-second" true (ms ov_rr < 1000.);
+    check_bool "bgp orders of magnitude worse" true (ms bgp > 10. *. ms ov_rr)
+  | _ -> Alcotest.fail "expected 3 rows"
+
+let () =
+  Alcotest.run "strovl_expt"
+    [
+      ( "registry",
+        [ Alcotest.test_case "complete" `Quick registry_complete ] );
+      ( "claims",
+        [
+          Alcotest.test_case "coverage" `Quick coverage_claims;
+          Alcotest.test_case "multicast" `Slow multicast_saves;
+          Alcotest.test_case "backpressure" `Slow backpressure_isolates;
+          Alcotest.test_case "disjoint bound" `Slow disjoint_bound_tight;
+          Alcotest.test_case "scada wall" `Slow scada_crypto_wall;
+          Alcotest.test_case "lossy link detour" `Slow lossy_link_detour;
+          Alcotest.test_case "capacity clusters" `Slow capacity_cluster_scaling;
+          Alcotest.test_case "on-net beats off-net" `Slow onnet_beats_offnet;
+          Alcotest.test_case "reroute vs bgp" `Slow reroute_vs_bgp;
+        ] );
+    ]

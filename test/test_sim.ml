@@ -1,0 +1,398 @@
+(* Unit and property tests for the discrete-event simulation substrate. *)
+
+open Strovl_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------- Time ------------------------------- *)
+
+let time_units () =
+  check_int "us" 7 (Time.us 7);
+  check_int "ms" 3_000 (Time.ms 3);
+  check_int "sec" 2_000_000 (Time.sec 2);
+  check_int "of_ms_float rounds" 1_500 (Time.of_ms_float 1.5);
+  check_int "of_sec_float" 250_000 (Time.of_sec_float 0.25);
+  check_float "to_ms_float" 1.5 (Time.to_ms_float 1_500);
+  check_float "to_sec_float" 0.25 (Time.to_sec_float 250_000)
+
+let time_arith () =
+  check_int "add" 30 (Time.add 10 20);
+  check_int "sub may go negative" (-10) (Time.sub 10 20);
+  check_int "min" 10 (Time.min 10 20);
+  check_int "max" 20 (Time.max 10 20);
+  check_bool "compare" true (Time.compare 1 2 < 0)
+
+let time_pp () =
+  Alcotest.(check string) "us" "42us" (Time.to_string 42);
+  Alcotest.(check string) "ms" "1.5ms" (Time.to_string 1_500);
+  Alcotest.(check string) "s" "2s" (Time.to_string 2_000_000);
+  Alcotest.(check string) "inf" "inf" (Time.to_string Time.infinity)
+
+(* -------------------------------- Rng ------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_split_named_stable () =
+  let a = Rng.create 5L and b = Rng.create 5L in
+  let ca = Rng.split_named a "x" and cb = Rng.split_named b "x" in
+  Alcotest.(check int64) "same named child" (Rng.int64 ca) (Rng.int64 cb);
+  let a = Rng.create 5L in
+  let c1 = Rng.split_named a "x" in
+  let a2 = Rng.create 5L in
+  let c2 = Rng.split_named a2 "y" in
+  check_bool "different names differ" true (Rng.int64 c1 <> Rng.int64 c2)
+
+let rng_bernoulli_freq () =
+  let rng = Rng.create 1L in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  check_bool "p=0.3 within 2%" true (Float.abs (f -. 0.3) < 0.02)
+
+let rng_exponential_mean () =
+  let rng = Rng.create 2L in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng 50.
+  done;
+  let mean = !acc /. float_of_int n in
+  check_bool "mean ~50" true (Float.abs (mean -. 50.) < 2.)
+
+let rng_shuffle_permutes () =
+  let rng = Rng.create 3L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted;
+  check_bool "actually shuffled" true (arr <> Array.init 50 (fun i -> i))
+
+let qcheck_rng_bounds =
+  QCheck.Test.make ~name:"rng int/float bounds" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let rng = Rng.create (Int64.of_int seed) in
+      let i = Rng.int rng bound in
+      let f = Rng.float rng (float_of_int bound) in
+      i >= 0 && i < bound && f >= 0. && f < float_of_int bound)
+
+(* ------------------------------- Heap ------------------------------- *)
+
+let heap_sorted_order () =
+  let h = Heap.create () in
+  List.iteri (fun i t -> Heap.push h ~time:t ~seq:i i) [ 5; 1; 9; 3; 7 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (t, _, _) ->
+      order := t :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5; 7; 9 ] (List.rev !order)
+
+let heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:42 ~seq:i i
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo among equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !order)
+
+let heap_peek_size () =
+  let h = Heap.create () in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h ~time:3 ~seq:0 "a";
+  Heap.push h ~time:1 ~seq:1 "b";
+  check_int "size" 2 (Heap.size h);
+  (match Heap.peek h with
+  | Some (1, 1, "b") -> ()
+  | _ -> Alcotest.fail "peek should see minimum");
+  check_int "peek does not remove" 2 (Heap.size h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun items ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i t) items;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (t, _, _) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare out)
+
+(* ------------------------------ Engine ------------------------------ *)
+
+let engine_order_and_clock () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:30 (fun () -> log := (3, Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:10 (fun () -> log := (1, Engine.now e) :: !log));
+  ignore (Engine.schedule e ~delay:20 (fun () -> log := (2, Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "ordered with clock" [ (1, 10); (2, 20); (3, 30) ] (List.rev !log)
+
+let engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:5 (fun () -> fired := true) in
+  Engine.cancel h;
+  check_bool "pending reports cancelled" false (Engine.is_pending h);
+  Engine.run e;
+  check_bool "cancelled did not fire" false !fired
+
+let engine_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> ignore (Engine.schedule e ~delay:d (fun () -> incr count)))
+    [ 10; 20; 30; 40 ];
+  Engine.run ~until:25 e;
+  check_int "only events <= until" 2 !count;
+  check_int "clock advances to until" 25 (Engine.now e);
+  Engine.run e;
+  check_int "drains the rest" 4 !count
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:10 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:5 (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_int "clock" 15 (Engine.now e)
+
+let engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 5 do
+    ignore (Engine.schedule e ~delay:7 (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let engine_errors () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:10 ignore);
+  Engine.run e;
+  Alcotest.check_raises "schedule_at in the past"
+    (Invalid_argument "Engine.schedule_at: at=5 < now=10") (fun () ->
+      ignore (Engine.schedule_at e ~at:5 ignore));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(-1) ignore))
+
+let engine_step_and_pending () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1 ignore);
+  ignore (Engine.schedule e ~delay:2 ignore);
+  check_int "pending" 2 (Engine.pending_events e);
+  check_bool "step" true (Engine.step e);
+  check_int "pending after step" 1 (Engine.pending_events e);
+  Engine.clear e;
+  check_bool "step empty" false (Engine.step e)
+
+(* ------------------------------ Stats ------------------------------- *)
+
+let stats_series_basics () =
+  let s = Stats.Series.create () in
+  check_bool "empty" true (Stats.Series.is_empty s);
+  List.iter (Stats.Series.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check_int "count" 5 (Stats.Series.count s);
+  check_float "mean" 3. (Stats.Series.mean s);
+  check_float "min" 1. (Stats.Series.min s);
+  check_float "max" 5. (Stats.Series.max s);
+  check_float "median" 3. (Stats.Series.median s);
+  check_float "sum" 15. (Stats.Series.sum s);
+  check_float "stddev" (sqrt 2.5) (Stats.Series.stddev s)
+
+let stats_percentile_nearest_rank () =
+  let s = Stats.Series.create () in
+  for i = 1 to 100 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  check_float "p50" 50. (Stats.Series.percentile s 50.);
+  check_float "p99" 99. (Stats.Series.percentile s 99.);
+  check_float "p100" 100. (Stats.Series.percentile s 100.);
+  check_float "p1" 1. (Stats.Series.percentile s 1.)
+
+let stats_jitter () =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) [ 10.; 12.; 9.; 9. ];
+  (* |12-10| + |9-12| + |9-9| = 5 over 3 gaps *)
+  check_float "jitter" (5. /. 3.) (Stats.Series.jitter s)
+
+let stats_clear_and_counter () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s 1.;
+  Stats.Series.clear s;
+  check_int "cleared" 0 (Stats.Series.count s);
+  check_float "empty mean" 0. (Stats.Series.mean s);
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  check_int "counter" 5 (Stats.Counter.get c);
+  Stats.Counter.clear c;
+  check_int "cleared counter" 0 (Stats.Counter.get c);
+  check_float "ratio" 0.5 (Stats.ratio 1 2);
+  check_float "ratio den 0" 0. (Stats.ratio 1 0)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      let s = Stats.Series.create () in
+      List.iter (Stats.Series.add s) xs;
+      let v = Stats.Series.percentile s p in
+      v >= Stats.Series.min s && v <= Stats.Series.max s)
+
+(* ------------------------------- Loss ------------------------------- *)
+
+let loss_perfect_always () =
+  check_bool "perfect" false (Loss.drops Loss.perfect ~now:0);
+  check_bool "always" true (Loss.drops Loss.always ~now:0);
+  check_float "perfect rate" 0. (Loss.mean_loss_rate Loss.perfect);
+  check_float "always rate" 1. (Loss.mean_loss_rate Loss.always)
+
+let loss_bernoulli_rate () =
+  let l = Loss.bernoulli (Rng.create 7L) ~p:0.25 in
+  let n = 20_000 in
+  let drops = ref 0 in
+  for i = 1 to n do
+    if Loss.drops l ~now:i then incr drops
+  done;
+  let f = float_of_int !drops /. float_of_int n in
+  check_bool "~0.25" true (Float.abs (f -. 0.25) < 0.02);
+  check_float "analytic" 0.25 (Loss.mean_loss_rate l)
+
+let loss_gilbert_rate () =
+  let l =
+    Loss.gilbert_elliott (Rng.create 11L) ~p_good_loss:0. ~p_bad_loss:1.
+      ~mean_good:(Time.ms 90) ~mean_bad:(Time.ms 10)
+  in
+  check_float "analytic 10%" 0.1 (Loss.mean_loss_rate l);
+  (* Empirical: sample a packet every 100us over 200 simulated seconds. *)
+  let drops = ref 0 and n = ref 0 in
+  let t = ref 0 in
+  while !t < Time.sec 200 do
+    incr n;
+    if Loss.drops l ~now:!t then incr drops;
+    t := !t + 100
+  done;
+  let f = float_of_int !drops /. float_of_int !n in
+  check_bool "empirical ~10%" true (Float.abs (f -. 0.1) < 0.02)
+
+let loss_gilbert_bursty () =
+  (* Consecutive losses should be far more frequent than under Bernoulli at
+     the same rate: P(loss | previous lost) >> p. *)
+  let l =
+    Loss.gilbert_elliott (Rng.create 13L) ~p_good_loss:0. ~p_bad_loss:1.
+      ~mean_good:(Time.ms 95) ~mean_bad:(Time.ms 5)
+  in
+  let prev = ref false in
+  let pairs = ref 0 and both = ref 0 in
+  let t = ref 0 in
+  while !t < Time.sec 100 do
+    let d = Loss.drops l ~now:!t in
+    if !prev then begin
+      incr pairs;
+      if d then incr both
+    end;
+    prev := d;
+    t := !t + 100
+  done;
+  let cond = float_of_int !both /. float_of_int (max 1 !pairs) in
+  check_bool "correlated (P(loss|loss) > 0.5)" true (cond > 0.5)
+
+let loss_outage_window () =
+  let l = Loss.periodic_outage ~period:(Time.ms 100) ~outage:(Time.ms 10) ~offset:(Time.ms 50) in
+  check_bool "before offset" false (Loss.drops l ~now:0);
+  check_bool "inside outage" true (Loss.drops l ~now:(Time.ms 55));
+  check_bool "after outage" false (Loss.drops l ~now:(Time.ms 65));
+  check_bool "next period" true (Loss.drops l ~now:(Time.ms 152));
+  check_bool "in_burst" true (Loss.in_burst l ~now:(Time.ms 55));
+  check_float "rate" 0.1 (Loss.mean_loss_rate l)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "strovl_sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick time_units;
+          Alcotest.test_case "arith" `Quick time_arith;
+          Alcotest.test_case "pp" `Quick time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split_named stable" `Quick rng_split_named_stable;
+          Alcotest.test_case "bernoulli freq" `Quick rng_bernoulli_freq;
+          Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick rng_shuffle_permutes;
+          q qcheck_rng_bounds;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorted order" `Quick heap_sorted_order;
+          Alcotest.test_case "fifo ties" `Quick heap_fifo_ties;
+          Alcotest.test_case "peek/size/clear" `Quick heap_peek_size;
+          q qcheck_heap_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "order and clock" `Quick engine_order_and_clock;
+          Alcotest.test_case "cancel" `Quick engine_cancel;
+          Alcotest.test_case "run until" `Quick engine_run_until;
+          Alcotest.test_case "nested" `Quick engine_nested_scheduling;
+          Alcotest.test_case "same-time fifo" `Quick engine_same_time_fifo;
+          Alcotest.test_case "errors" `Quick engine_errors;
+          Alcotest.test_case "step/pending" `Quick engine_step_and_pending;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "series basics" `Quick stats_series_basics;
+          Alcotest.test_case "percentile" `Quick stats_percentile_nearest_rank;
+          Alcotest.test_case "jitter" `Quick stats_jitter;
+          Alcotest.test_case "clear/counter" `Quick stats_clear_and_counter;
+          q qcheck_percentile_bounds;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "perfect/always" `Quick loss_perfect_always;
+          Alcotest.test_case "bernoulli rate" `Quick loss_bernoulli_rate;
+          Alcotest.test_case "gilbert rate" `Quick loss_gilbert_rate;
+          Alcotest.test_case "gilbert bursty" `Quick loss_gilbert_bursty;
+          Alcotest.test_case "outage window" `Quick loss_outage_window;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* Wire-format tests: exact roundtrips for every message kind (including
+   qcheck-generated arbitrary messages) and hostile-input rejection. *)
+
+module P = Strovl.Packet
+module Msg = Strovl.Msg
+module Wire = Strovl.Wire
+module Bitmask = Strovl_topo.Bitmask
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip msg =
+  match Wire.decode (Wire.encode msg) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let sample_packet ?(routing = P.Link_state) ?(service = P.Best_effort)
+    ?(auth = None) ?(hops = 0) ?(ingress = -1) ?(replay = false) () =
+  let p =
+    P.make
+      ~flow:{ P.f_src = 3; f_sport = 4001; f_dest = P.To_group 17; f_dport = 88 }
+      ~routing ~service ~seq:1234 ~sent_at:987654 ~bytes:1316 ~tag:"video"
+      ?auth:(match auth with Some a -> Some a | None -> None)
+      ()
+  in
+  let p = if ingress >= 0 then P.with_ingress p ingress else p in
+  let p = if replay then P.as_replay p else p in
+  let rec bump p n = if n = 0 then p else bump (P.next_hop_copy p) (n - 1) in
+  bump p hops
+
+let data_roundtrip () =
+  let mask = Bitmask.of_links ~nlinks:100 [ 0; 13; 64; 99 ] in
+  let pkt =
+    sample_packet ~routing:(P.Source_mask mask)
+      ~service:(P.Realtime { deadline = 65_000; n_requests = 1; m_retrans = 1 })
+      ~auth:(Some 0x1234_5678_9abc_def0L) ~hops:3 ~ingress:7 ~replay:true ()
+  in
+  let msg = Msg.Data { cls = 2; lseq = 42; pkt; auth = Some (-1L) } in
+  check_bool "exact roundtrip" true (roundtrip msg = msg)
+
+let control_roundtrips () =
+  let msgs =
+    [
+      Msg.Link_ack { cls = 1; cum = 999 };
+      Msg.Link_nack { cls = 1; missing = [ 3; 7; 12 ] };
+      Msg.Link_nack { cls = 4; missing = [] };
+      Msg.Rt_request { lseq = 55 };
+      Msg.It_ack { lseq = 0 };
+      Msg.Hello { hseq = 17; sent_at = 1_000_000 };
+      Msg.Hello_ack { hseq = 17; echo = 999_900 };
+      Msg.Lsu
+        {
+          origin = 4;
+          lsu_seq = 12;
+          links =
+            [ (0, { Msg.li_up = true; li_metric = 10_700; li_loss = 0 });
+              (5, { Msg.li_up = false; li_metric = 1; li_loss = 0 }) ];
+          auth = Some 77L;
+        };
+      Msg.Group_update
+        { origin = 9; gseq = 3; memb = [ (100, true); (200, false) ]; auth = None };
+    ]
+  in
+  List.iter (fun m -> check_bool "roundtrip" true (roundtrip m = m)) msgs
+
+let service_variants_roundtrip () =
+  List.iter
+    (fun service ->
+      let msg =
+        Msg.Data { cls = P.service_class service; lseq = 1;
+                   pkt = sample_packet ~service (); auth = None }
+      in
+      check_bool "service roundtrip" true (roundtrip msg = msg))
+    [
+      P.Best_effort;
+      P.Reliable;
+      P.Realtime { deadline = 200_000; n_requests = 3; m_retrans = 3 };
+      P.It_priority 9;
+      P.It_reliable;
+    ]
+
+let dest_variants_roundtrip () =
+  List.iter
+    (fun dest ->
+      let pkt =
+        P.make
+          ~flow:{ P.f_src = 0; f_sport = 1; f_dest = dest; f_dport = 2 }
+          ~routing:P.Link_state ~service:P.Best_effort ~seq:0 ~sent_at:0
+          ~bytes:0 ()
+      in
+      let msg = Msg.Data { cls = 0; lseq = 1; pkt; auth = None } in
+      check_bool "dest roundtrip" true (roundtrip msg = msg))
+    [ P.To_node 11; P.To_group 500; P.Any_of_group 500 ]
+
+let size_accounting () =
+  let pkt = sample_packet () in
+  let msg = Msg.Data { cls = 0; lseq = 1; pkt; auth = None } in
+  check_int "size = header + payload" (Wire.size msg)
+    (String.length (Wire.encode msg) + 1316);
+  check_int "control payload 0" 0 (Wire.payload_bytes (Msg.Rt_request { lseq = 1 }));
+  (* The analytic estimate used by the bandwidth model stays within a small
+     tolerance of the real encoding. *)
+  let diff = abs (Msg.bytes msg - Wire.size msg) in
+  check_bool "analytic estimate close" true (diff <= 32)
+
+let hostile_inputs_rejected () =
+  let bad s =
+    match Wire.decode s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "empty" true (bad "");
+  check_bool "unknown tag" true (bad "\xff");
+  check_bool "truncated data" true (bad "\x01\x02");
+  check_bool "truncated lsu" true (bad "\x08\x00\x01");
+  (* Valid prefix with trailing garbage must be rejected too. *)
+  let good = Wire.encode (Msg.Rt_request { lseq = 7 }) in
+  check_bool "trailing bytes" true (bad (good ^ "x"));
+  (* Oversized bitmask word count. *)
+  check_bool "oversized mask" true
+    (bad "\x01\x00\x00\x00\x00\x01\x00\x00\x03\x00\x10\x00\x00\x00\x00\x01\x00\x00\x00\x02\x01\xff\xff")
+
+let corrupted_bytes_never_raise () =
+  (* Flipping any single byte of a valid message must yield Ok or Error,
+     never an exception. *)
+  let msg =
+    Msg.Lsu
+      {
+        origin = 4;
+        lsu_seq = 12;
+        links = [ (0, { Msg.li_up = true; li_metric = 10_700; li_loss = 0 }) ];
+        auth = Some 77L;
+      }
+  in
+  let s = Bytes.of_string (Wire.encode msg) in
+  for i = 0 to Bytes.length s - 1 do
+    let orig = Bytes.get s i in
+    Bytes.set s i (Char.chr ((Char.code orig + 1) land 0xff));
+    (match Wire.decode (Bytes.to_string s) with Ok _ | Error _ -> ());
+    Bytes.set s i orig
+  done;
+  check_bool "survived all corruptions" true true
+
+(* qcheck: arbitrary messages roundtrip exactly. *)
+
+let gen_dest =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> P.To_node n) (int_bound 1000);
+        map (fun g -> P.To_group g) (int_bound 100000);
+        map (fun g -> P.Any_of_group g) (int_bound 100000);
+      ])
+
+let gen_service =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Best_effort;
+        return P.Reliable;
+        map3
+          (fun d n m ->
+            P.Realtime { deadline = d; n_requests = 1 + n; m_retrans = 1 + m })
+          (int_bound 1_000_000) (int_bound 8) (int_bound 8);
+        map (fun p -> P.It_priority p) (int_bound 100);
+        return P.It_reliable;
+        map2 (fun k r -> P.Fec { fec_k = 1 + k; fec_r = 1 + r })
+          (int_bound 30) (int_bound 7);
+      ])
+
+let gen_routing =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Link_state;
+        map
+          (fun links ->
+            P.Source_mask (Bitmask.of_links ~nlinks:200 links))
+          (list_size (int_bound 20) (int_bound 199));
+      ])
+
+let gen_packet =
+  QCheck.Gen.(
+    let* f_src = int_bound 60000 in
+    let* f_sport = int_bound 100000 in
+    let* f_dest = gen_dest in
+    let* f_dport = int_bound 100000 in
+    let* routing = gen_routing in
+    let* service = gen_service in
+    let* seq = int_bound 1_000_000 in
+    let* sent_at = int_bound 1_000_000_000 in
+    let* bytes = int_bound 65536 in
+    let* tag = string_size (int_bound 32) in
+    let* auth = opt (map Int64.of_int (int_bound 1_000_000)) in
+    let* hops = int_bound 63 in
+    let* ingress = int_range (-1) 100 in
+    let* replay = bool in
+    let p =
+      P.make
+        ~flow:{ P.f_src; f_sport; f_dest; f_dport }
+        ~routing ~service ~seq ~sent_at ~bytes ~tag ?auth ()
+    in
+    let p = if ingress >= 0 then P.with_ingress p ingress else p in
+    let p = if replay then P.as_replay p else p in
+    let rec bump p n = if n = 0 then p else bump (P.next_hop_copy p) (n - 1) in
+    return (bump p hops))
+
+let gen_msg =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* cls = int_bound 4 in
+         let* lseq = int_bound 1_000_000 in
+         let* auth = opt (map Int64.of_int (int_bound 1_000_000)) in
+         let* pkt = gen_packet in
+         return (Msg.Data { cls; lseq; pkt; auth }));
+        (let* cls = int_bound 4 in
+         let* cum = int_bound 1_000_000 in
+         return (Msg.Link_ack { cls; cum }));
+        (let* cls = int_bound 4 in
+         let* missing = list_size (int_bound 30) (int_bound 1_000_000) in
+         return (Msg.Link_nack { cls; missing }));
+        map (fun lseq -> Msg.Rt_request { lseq }) (int_bound 1_000_000);
+        map (fun lseq -> Msg.It_ack { lseq }) (int_bound 1_000_000);
+        (let* hseq = int_bound 1_000_000 in
+         let* sent_at = int_bound 1_000_000_000 in
+         return (Msg.Hello { hseq; sent_at }));
+        (let* origin = int_bound 60000 in
+         let* lsu_seq = int_bound 1_000_000 in
+         let* links =
+           list_size (int_bound 10)
+             (let* l = int_bound 1000 in
+              let* li_up = bool in
+              let* li_metric = int_bound 1_000_000 in
+              let* li_loss = int_bound 1000 in
+              return (l, { Msg.li_up; li_metric; li_loss }))
+         in
+         let* auth = opt (map Int64.of_int (int_bound 1_000_000)) in
+         return (Msg.Lsu { origin; lsu_seq; links; auth }));
+        (let* block = int_bound 1_000_000 in
+         let* idx = int_bound 7 in
+         let* blk_pkts = list_size (int_bound 6) gen_packet in
+         let* bytes = int_bound 65536 in
+         return
+           (Msg.Fec_parity
+              { block; idx; k = List.length blk_pkts; bytes; blk_pkts }));
+        (let* origin = int_bound 60000 in
+         let* gseq = int_bound 1_000_000 in
+         let* memb =
+           list_size (int_bound 10)
+             (let* g = int_bound 100000 in
+              let* m = bool in
+              return (g, m))
+         in
+         let* auth = opt (map Int64.of_int (int_bound 1_000_000)) in
+         return (Msg.Group_update { origin; gseq; memb; auth }));
+      ])
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"arbitrary message roundtrips exactly" ~count:500
+    (QCheck.make gen_msg)
+    (fun msg -> Wire.decode (Wire.encode msg) = Ok msg)
+
+let () =
+  Alcotest.run "strovl_wire"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "data with everything" `Quick data_roundtrip;
+          Alcotest.test_case "control messages" `Quick control_roundtrips;
+          Alcotest.test_case "service variants" `Quick service_variants_roundtrip;
+          Alcotest.test_case "dest variants" `Quick dest_variants_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "size accounting" `Quick size_accounting;
+          Alcotest.test_case "hostile inputs" `Quick hostile_inputs_rejected;
+          Alcotest.test_case "corruption fuzz" `Quick corrupted_bytes_never_raise;
+        ] );
+    ]
