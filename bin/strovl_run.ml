@@ -3,7 +3,8 @@
 
 open Cmdliner
 
-let run_experiments ids quick seed =
+let run_experiments ids quick seed json =
+  let unknown = ref false in
   let targets =
     match ids with
     | [] -> Strovl_expt.all
@@ -14,18 +15,19 @@ let run_experiments ids quick seed =
           | Some e -> Some e
           | None ->
             Printf.eprintf "unknown experiment: %s (try `list`)\n" id;
+            unknown := true;
             None)
         ids
   in
-  if targets = [] && ids <> [] then 1
-  else begin
-    List.iter
-      (fun (e : Strovl_expt.experiment) ->
-        let table = e.Strovl_expt.run ~quick ~seed () in
-        Strovl_expt.Table.print Format.std_formatter table)
-      targets;
-    0
-  end
+  List.iter
+    (fun (e : Strovl_expt.experiment) ->
+      let table = e.Strovl_expt.run ~quick ~seed () in
+      if json then print_endline (Strovl_expt.Table.to_json table)
+      else Strovl_expt.Table.print Format.std_formatter table)
+    targets;
+  (* Any unknown id is a failure even when other ids ran: callers scripting
+     the runner must not mistake a typo for a clean pass. *)
+  if !unknown then 1 else 0
 
 let list_experiments () =
   List.iter
@@ -46,11 +48,15 @@ let seed =
   let doc = "Deterministic seed for the simulation RNG streams." in
   Arg.(value & opt int64 7L & info [ "seed" ] ~doc)
 
+let json =
+  let doc = "Emit each result table as one JSON object per line." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let run_cmd =
   let doc = "run paper-reproduction experiments" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ quick $ seed)
+    Term.(const run_experiments $ ids $ quick $ seed $ json)
 
 let list_cmd =
   let doc = "list available experiments" in
@@ -58,7 +64,7 @@ let list_cmd =
 
 let main =
   let doc = "structured overlay network experiments (Babay et al., ICDCS 2017)" in
-  Cmd.group ~default:Term.(const run_experiments $ ids $ quick $ seed)
+  Cmd.group ~default:Term.(const run_experiments $ ids $ quick $ seed $ json)
     (Cmd.info "strovl_run" ~doc)
     [ run_cmd; list_cmd ]
 

@@ -1,0 +1,202 @@
+(* Flight-recorder front end: run any experiment with tracing armed, then
+   answer queries about what happened — a packet's causal path, drop
+   reasons, link utilization, or the whole summary. *)
+
+open Cmdliner
+module Trace = Strovl_obs.Trace
+module Export = Strovl_obs.Export
+
+(* Run one experiment with the recorder armed; the ring and the metrics
+   registry are left populated for the query that follows. *)
+let traced_run id quick seed capacity =
+  match Strovl_expt.find id with
+  | None ->
+    Printf.eprintf "unknown experiment: %s (try `strovl_run list`)\n" id;
+    None
+  | Some e ->
+    Strovl_obs.Metrics.reset ();
+    Trace.enable ~capacity ();
+    let table = e.Strovl_expt.run ~quick ~seed () in
+    Some table
+
+(* "src:sport:dst:dport" (as printed by the summaries) -> flow_id. *)
+let parse_flow s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d ] -> begin
+    match
+      (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+    with
+    | Some fi_src, Some fi_sport, Some fi_dst, Some fi_dport ->
+      Some { Trace.fi_src; fi_sport; fi_dst; fi_dport }
+    | _ -> None
+  end
+  | _ -> None
+
+let run_main id quick seed capacity json jsonl_path =
+  match traced_run id quick seed capacity with
+  | None -> 1
+  | Some table ->
+    (match jsonl_path with
+    | Some path ->
+      let oc = open_out path in
+      Export.jsonl oc;
+      close_out oc;
+      Printf.eprintf "wrote %d trace records to %s\n" (Trace.length ()) path
+    | None -> ());
+    if json then begin
+      print_endline (Strovl_expt.Table.to_json table);
+      print_endline (Export.summary_json ())
+    end
+    else begin
+      Strovl_expt.Table.print Format.std_formatter table;
+      Export.print_summary Format.std_formatter;
+      (match Export.sample_packet () with
+      | Some (flow, seq) ->
+        Format.printf "@.sampled packet path:@.";
+        Export.print_path Format.std_formatter ~flow ~seq
+      | None -> ())
+    end;
+    0
+
+let path_main id quick seed capacity flow_s seq =
+  (* Reject a malformed --flow before paying for the run. *)
+  let explicit =
+    match flow_s with
+    | None -> Ok None
+    | Some s -> begin
+      match parse_flow s with
+      | Some flow -> Ok (Some (flow, seq))
+      | None ->
+        Printf.eprintf "bad --flow %S (want src:sport:dst:dport)\n" s;
+        Error ()
+    end
+  in
+  match explicit with
+  | Error () -> 1
+  | Ok explicit -> begin
+    match traced_run id quick seed capacity with
+    | None -> 1
+    | Some _ -> begin
+      let target =
+        match explicit with
+        | Some t -> Some t
+        | None -> Export.sample_packet ()
+      in
+      match target with
+      | None ->
+        Printf.eprintf "no packet to trace (empty flight recorder?)\n";
+        1
+      | Some (flow, seq) -> begin
+        match Export.path_of ~flow ~seq with
+        | [] ->
+          Printf.eprintf
+            "no events for that flow/seq in the trace window (try `summary` \
+             for live flows)\n";
+          1
+        | _ ->
+          Export.print_path Format.std_formatter ~flow ~seq;
+          0
+      end
+    end
+  end
+
+let drops_main id quick seed capacity =
+  match traced_run id quick seed capacity with
+  | None -> 1
+  | Some _ ->
+    (match Export.drop_counts () with
+    | [] -> print_endline "no drops recorded"
+    | counts ->
+      List.iter (fun (reason, n) -> Printf.printf "%-16s %d\n" reason n) counts);
+    0
+
+let links_main id quick seed capacity =
+  match traced_run id quick seed capacity with
+  | None -> 1
+  | Some _ ->
+    Printf.printf "%-12s %10s %12s %8s\n" "link" "packets" "bytes" "qdrops";
+    List.iter
+      (fun (label, pkts, bytes, drops) ->
+        Printf.printf "%-12s %10d %12d %8d\n" label pkts bytes drops)
+      (Export.links_table ());
+    0
+
+let summary_main id quick seed capacity json =
+  match traced_run id quick seed capacity with
+  | None -> 1
+  | Some _ ->
+    if json then print_endline (Export.summary_json ())
+    else Export.print_summary Format.std_formatter;
+    0
+
+(* ------------------------- cmdliner plumbing ------------------------- *)
+
+let id_arg =
+  let doc = "Experiment id to run with tracing enabled." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+
+let quick =
+  let doc = "Reduced packet counts and sweeps (for smoke testing)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let seed =
+  let doc = "Deterministic seed for the simulation RNG streams." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~doc)
+
+let capacity =
+  let doc = "Flight-recorder ring capacity (events retained)." in
+  Arg.(value & opt int (1 lsl 18) & info [ "capacity" ] ~doc)
+
+let json =
+  let doc = "Machine-readable JSON output." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let jsonl_path =
+  let doc = "Also dump every retained trace record as JSONL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+
+let flow_arg =
+  let doc = "Flow to trace, as src:sport:dst:dport (default: a sampled packet)." in
+  Arg.(value & opt (some string) None & info [ "flow" ] ~doc)
+
+let seq_arg =
+  let doc = "Sequence number within --flow (-1: all of the flow)." in
+  Arg.(value & opt int (-1) & info [ "seq" ] ~doc)
+
+let run_cmd =
+  let doc = "run an experiment traced; print its table, summary and a sample path" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run_main $ id_arg $ quick $ seed $ capacity $ json $ jsonl_path)
+
+let path_cmd =
+  let doc = "reconstruct one packet's causal path through the overlay" in
+  Cmd.v
+    (Cmd.info "path" ~doc)
+    Term.(const path_main $ id_arg $ quick $ seed $ capacity $ flow_arg $ seq_arg)
+
+let drops_cmd =
+  let doc = "drop events grouped by reason" in
+  Cmd.v
+    (Cmd.info "drops" ~doc)
+    Term.(const drops_main $ id_arg $ quick $ seed $ capacity)
+
+let links_cmd =
+  let doc = "per-link utilization from the metrics registry" in
+  Cmd.v
+    (Cmd.info "links" ~doc)
+    Term.(const links_main $ id_arg $ quick $ seed $ capacity)
+
+let summary_cmd =
+  let doc = "trace + metrics summary (tables or --json)" in
+  Cmd.v
+    (Cmd.info "summary" ~doc)
+    Term.(const summary_main $ id_arg $ quick $ seed $ capacity $ json)
+
+let main =
+  let doc = "flight-recorder tracing for the overlay experiments" in
+  Cmd.group
+    (Cmd.info "strovl_trace" ~doc)
+    [ run_cmd; path_cmd; drops_cmd; links_cmd; summary_cmd ]
+
+let () = exit (Cmd.eval' main)

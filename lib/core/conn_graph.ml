@@ -74,12 +74,20 @@ let make_lsu t =
   t.my_seq <- t.my_seq + 1;
   Msg.Lsu { origin = t.self; lsu_seq = t.my_seq; links = my_links_info t; auth = None }
 
+let m_link_changes =
+  Strovl_obs.Metrics.counter "strovl_link_state_changes_total"
+
+let m_lsu_applied = Strovl_obs.Metrics.counter "strovl_lsu_applied_total"
+
 let set_local t ~link ~up =
   let s = t.sides.(link).(side_index t.g link t.self) in
   if s.up = up then None
   else begin
     s.up <- up;
     t.version <- t.version + 1;
+    Strovl_obs.Metrics.Counter.incr m_link_changes;
+    if !Strovl_obs.Trace.on then
+      Strovl_obs.Trace.emit ~node:t.self (Strovl_obs.Trace.Reroute (link, up));
     Some (make_lsu t)
   end
 
@@ -143,7 +151,10 @@ let apply_lsu t ~origin ~lsu_seq links =
           end
         end)
       links;
-    if !changed then t.version <- t.version + 1;
+    if !changed then begin
+      t.version <- t.version + 1;
+      Strovl_obs.Metrics.Counter.incr m_lsu_applied
+    end;
     true
   end
 

@@ -70,6 +70,8 @@ let create engine link ~service ~deliver =
   let sender_ctx =
     {
       Lproto.engine;
+      node = Link.a link;
+      link = -1;
       xmit = xmit_from (Link.a link);
       up = ignore;
       try_up = (fun _ -> true);
@@ -80,6 +82,8 @@ let create engine link ~service ~deliver =
   let receiver_ctx =
     {
       Lproto.engine;
+      node = Link.b link;
+      link = -1;
       xmit = xmit_from (Link.b link);
       up =
         (fun pkt ->

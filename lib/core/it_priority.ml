@@ -22,6 +22,11 @@ type t = {
   mutable n_dropped : int;
 }
 
+let m_evicted =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "it-priority") ]
+    "strovl_link_queue_drops_total"
+
 let create ?(config = default_config) ctx =
   {
     ctx;
@@ -78,7 +83,9 @@ let evict_oldest_lowest t q =
     (match !victim with
     | Some p ->
       t.n_dropped <- t.n_dropped + 1;
-      bump t.dropped (source_of p)
+      bump t.dropped (source_of p);
+      Strovl_obs.Metrics.Counter.incr m_evicted;
+      Lproto.trace_pkt t.ctx p (Strovl_obs.Trace.Drop Strovl_obs.Trace.Priority_evict)
     | None -> ())
 
 let rec service t =

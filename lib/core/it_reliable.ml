@@ -34,6 +34,11 @@ type t = {
   mutable n_acked : int;
 }
 
+let m_retrans =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "it-reliable") ]
+    "strovl_link_retransmits_total"
+
 let create ?(config = default_config) ctx =
   {
     ctx;
@@ -81,7 +86,11 @@ let rec transmit t flow e =
     e.e_lseq <- t.next_lseq;
     bump t.sent flow.Packet.f_src
   end
-  else t.n_retrans <- t.n_retrans + 1;
+  else begin
+    t.n_retrans <- t.n_retrans + 1;
+    Strovl_obs.Metrics.Counter.incr m_retrans;
+    Lproto.trace_pkt t.ctx e.e_pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link)
+  end;
   Hashtbl.replace t.by_lseq e.e_lseq (flow, e);
   e.e_inflight <- true;
   let msg = Msg.Data { cls = t.cls; lseq = e.e_lseq; pkt = e.e_pkt; auth = None } in

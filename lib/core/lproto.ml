@@ -6,6 +6,11 @@
 
 type ctx = {
   engine : Strovl_sim.Engine.t;
+  node : int;
+      (** id of the overlay node this endpoint lives on ([-1] for the
+          direct-path e2e baselines) — flight-recorder identity *)
+  link : int;
+      (** id of the overlay link this endpoint serves ([-1] off-overlay) *)
   xmit : Msg.t -> unit;
       (** transmit a wire message to the peer endpoint of this link *)
   up : Packet.t -> unit;
@@ -17,6 +22,17 @@ type ctx = {
   rtt_hint : Strovl_sim.Time.t;
       (** the link's round-trip estimate, for retransmission timers *)
 }
+
+(** Flight-recorder helpers: guard first so the disabled path costs one
+    dereference and no allocation. *)
+let trace_pkt ctx pkt ev =
+  if !Strovl_obs.Trace.on then
+    Strovl_obs.Trace.emit
+      ~flow:(Packet.obs_flow pkt.Packet.flow)
+      ~seq:pkt.Packet.seq ~node:ctx.node ev
+
+let trace ctx ev =
+  if !Strovl_obs.Trace.on then Strovl_obs.Trace.emit ~node:ctx.node ev
 
 (** Serialization time of [bytes] at the context's bandwidth (µs, ≥1). *)
 let tx_time ctx bytes =

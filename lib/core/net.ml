@@ -38,6 +38,9 @@ type t = {
   cfg : config;
 }
 
+let m_isp_rotations =
+  Strovl_obs.Metrics.counter "strovl_isp_rotations_total"
+
 let pick_isp spec underlay ~a ~b =
   (* Prefer the lowest-numbered ISP that can connect the endpoints. *)
   let rec go isp =
@@ -142,7 +145,10 @@ let create ?(config = default_config) ?underlay engine spec =
             let link = t.links.(l) in
             let cur = Link.current_isp link in
             let nisps = spec.Gen.nisps in
-            if nisps > 1 then Link.set_isp link ((cur + 1) mod nisps)
+            if nisps > 1 then begin
+              Strovl_obs.Metrics.Counter.incr m_isp_rotations;
+              Link.set_isp link ((cur + 1) mod nisps)
+            end
           end))
     nodes;
   t

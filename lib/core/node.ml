@@ -38,6 +38,30 @@ let default_config =
     loss_aware_routing = false;
   }
 
+(* Observability: process-wide labelled metrics (always-available twins of
+   the per-node [counters]) and flight-recorder events. Handles are created
+   once at module init; hot-path updates are O(1). *)
+module Obs = Strovl_obs.Trace
+module Om = Strovl_obs.Metrics
+
+let m_forwarded = Om.counter "strovl_node_forwarded_total"
+let m_delivered = Om.counter "strovl_node_delivered_total"
+let m_enqueued = Om.counter "strovl_node_enqueued_total"
+let m_lsu_floods = Om.counter "strovl_lsu_floods_total"
+let m_group_floods = Om.counter "strovl_group_floods_total"
+let m_delivery_latency = Om.histogram "strovl_delivery_latency_us"
+
+let m_drop reason =
+  Om.counter ~labels:[ ("reason", Obs.reason_to_string reason) ]
+    "strovl_node_dropped_total"
+
+let m_drop_no_route = m_drop Obs.No_route
+let m_drop_ttl = m_drop Obs.Ttl
+let m_drop_auth = m_drop Obs.Auth
+let m_drop_dup = m_drop Obs.Dup
+let m_drop_backpressure = m_drop Obs.Backpressure
+let m_drop_overload = m_drop Obs.Overload
+
 type counters = {
   mutable forwarded : int;
   mutable delivered : int;
@@ -93,6 +117,21 @@ type t = {
   mutable started : bool;
   mutable cpu_busy_until : Time.t; (* finite-capacity CPU server (§II-D) *)
 }
+
+(* One packet-flavoured drop: metric plus (when armed) a trace event that
+   names the packet so the causal path shows where and why it died. *)
+let note_drop t pkt reason mctr =
+  Om.Counter.incr mctr;
+  if !Obs.on then
+    Obs.emit
+      ~flow:(Packet.obs_flow pkt.Packet.flow)
+      ~seq:pkt.Packet.seq ~node:t.id (Obs.Drop reason)
+
+let trace_pkt t pkt ev =
+  if !Obs.on then
+    Obs.emit
+      ~flow:(Packet.obs_flow pkt.Packet.flow)
+      ~seq:pkt.Packet.seq ~node:t.id ev
 
 let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
   let conn_graph = Conn_graph.create ~self:id graph ~metric in
@@ -177,8 +216,13 @@ let flood_local_update t msg_opt =
   | None -> ()
   | Some msg ->
     (match msg with
-    | Msg.Lsu _ -> t.ctrs.lsu_floods <- t.ctrs.lsu_floods + 1
-    | Msg.Group_update _ -> t.ctrs.group_floods <- t.ctrs.group_floods + 1
+    | Msg.Lsu _ ->
+      t.ctrs.lsu_floods <- t.ctrs.lsu_floods + 1;
+      Om.Counter.incr m_lsu_floods;
+      if !Obs.on then Obs.emit ~node:t.id Obs.Lsu_flood
+    | Msg.Group_update _ ->
+      t.ctrs.group_floods <- t.ctrs.group_floods + 1;
+      Om.Counter.incr m_group_floods
     | _ -> ());
     flood t (sign_flood t msg)
 
@@ -191,6 +235,10 @@ let deliver_local t pkt ~port =
   | None -> ()
   | Some deliver ->
     t.ctrs.delivered <- t.ctrs.delivered + 1;
+    Om.Counter.incr m_delivered;
+    Om.Histogram.observe m_delivery_latency
+      (Time.sub (Engine.now t.engine) pkt.Packet.sent_at);
+    trace_pkt t pkt Obs.Deliver;
     deliver pkt
 
 (* Ports at this node that must receive the packet. *)
@@ -219,6 +267,7 @@ let out_links_for t pkt ~from_link =
       | Some (_, l) -> [ l ]
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
+        note_drop t pkt Obs.No_route m_drop_no_route;
         []
     end
   in
@@ -243,6 +292,7 @@ let out_links_for t pkt ~from_link =
       | Some _ -> []
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
+        note_drop t pkt Obs.No_route m_drop_no_route;
         []
     end
   end
@@ -269,8 +319,11 @@ let charge_cpu t work =
   | Some service ->
     let now = Engine.now t.engine in
     let start = Time.max now t.cpu_busy_until in
-    if Time.sub start now > t.cfg.cpu_queue then
-      t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1
+    if Time.sub start now > t.cfg.cpu_queue then begin
+      t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1;
+      Om.Counter.incr m_drop_overload;
+      if !Obs.on then Obs.emit ~node:t.id (Obs.Drop Obs.Overload)
+    end
     else begin
       t.cpu_busy_until <- Time.add start service;
       ignore (Engine.schedule_at t.engine ~at:t.cpu_busy_until work)
@@ -286,6 +339,8 @@ let cpu_admit t =
     let start = Time.max now t.cpu_busy_until in
     if Time.sub start now > t.cfg.cpu_queue then begin
       t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1;
+      Om.Counter.incr m_drop_overload;
+      if !Obs.on then Obs.emit ~node:t.id (Obs.Drop Obs.Overload);
       false
     end
     else begin
@@ -304,6 +359,8 @@ let rec get_proto t ep cls =
     let ctx =
       {
         Lproto.engine = t.engine;
+        node = t.id;
+        link = ep.ep_link;
         xmit = ep.ep_xmit;
         up =
           (fun pkt ->
@@ -333,6 +390,8 @@ let rec get_proto t ep cls =
 and send_on t ep pkt =
   let pkt = Packet.next_hop_copy pkt in
   t.ctrs.forwarded <- t.ctrs.forwarded + 1;
+  Om.Counter.incr m_forwarded;
+  trace_pkt t pkt (Obs.Forward ep.ep_link);
   match get_proto t ep (Packet.service_class pkt.Packet.service) with
   | P_best p -> Best_effort.send p pkt
   | P_rel p -> Reliable_link.send p pkt
@@ -340,8 +399,10 @@ and send_on t ep pkt =
   | P_itp p -> It_priority.send p pkt
   | P_itr p ->
     (* Callers check capacity first via try_accept/originate. *)
-    if not (It_reliable.offer p pkt) then
-      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1
+    if not (It_reliable.offer p pkt) then begin
+      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+      note_drop t pkt Obs.Backpressure m_drop_backpressure
+    end
   | P_fec p -> Fec_link.send p pkt
 
 (* Verification of the origin signature on intrusion-tolerant data. *)
@@ -369,14 +430,22 @@ and needs_dedup pkt =
 
 (* The routing level: deliver locally, forward onward. *)
 and forward t ~from_link pkt =
-  if pkt.Packet.hops >= Packet.max_hops then
-    t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1
-  else if not (auth_ok t pkt) then t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+  if pkt.Packet.hops >= Packet.max_hops then begin
+    t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1;
+    note_drop t pkt Obs.Ttl m_drop_ttl
+  end
+  else if not (auth_ok t pkt) then begin
+    t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
+    note_drop t pkt Obs.Auth m_drop_auth
+  end
   else if
     needs_dedup pkt
     && Dedup.seen t.dedup pkt.Packet.flow pkt.Packet.seq
     && not pkt.Packet.replay
-  then t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1
+  then begin
+    t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1;
+    note_drop t pkt Obs.Dup m_drop_dup
+  end
   else begin
     List.iter (fun port -> deliver_local t pkt ~port) (local_ports_for t pkt);
     let outs = out_links_for t pkt ~from_link in
@@ -396,11 +465,13 @@ and try_accept t ~from_link pkt =
   else if not (cpu_admit t) then false
   else if not (auth_ok t pkt) then begin
     t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
+    note_drop t pkt Obs.Auth m_drop_auth;
     false
   end
   else if Dedup.peek t.dedup pkt.Packet.flow pkt.Packet.seq then begin
     (* Already accepted earlier: re-ack without reprocessing. *)
     t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1;
+    Om.Counter.incr m_drop_dup;
     true
   end
   else begin
@@ -411,6 +482,7 @@ and try_accept t ~from_link pkt =
          unreachable): refuse rather than absorb — reliability must not be
          silently dropped. *)
       t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+      note_drop t pkt Obs.Backpressure m_drop_backpressure;
       false
     end
     else begin
@@ -428,6 +500,7 @@ and try_accept t ~from_link pkt =
     in
     if not room then begin
       t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+      note_drop t pkt Obs.Backpressure m_drop_backpressure;
       false
     end
     else begin
@@ -556,13 +629,19 @@ let receive t ~link msg =
         if Conn_graph.apply_lsu t.conn_graph ~origin ~lsu_seq links then
           flood t ~except:link msg
       end
-      else t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+      else begin
+        t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
+        Om.Counter.incr m_drop_auth
+      end
     | Msg.Group_update { origin; gseq; memb; auth } ->
       if verify_flood t ~origin msg auth then begin
         if Group.apply_update t.group_state ~origin ~gseq memb then
           flood t ~except:link msg
       end
-      else t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1
+      else begin
+        t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
+        Om.Counter.incr m_drop_auth
+      end
     | Msg.Data { cls; _ } -> proto_recv t ep cls msg
     | Msg.Link_ack { cls; _ } -> proto_recv t ep cls msg
     | Msg.Link_nack { cls; _ } -> proto_recv t ep cls msg
@@ -656,6 +735,8 @@ let originate t pkt =
     end
     | _ -> pkt
   in
+  Om.Counter.incr m_enqueued;
+  trace_pkt t pkt Obs.Enqueue;
   match pkt.Packet.service with
   | Packet.It_reliable -> try_accept t ~from_link:(-1) pkt
   | _ ->

@@ -84,6 +84,22 @@ let header_bytes t =
   | Link_state -> base
   | Source_mask m -> base + Strovl_topo.Bitmask.byte_size m
 
+(* Destination ranges are disjoint so distinct flows stay distinct in the
+   flight recorder: nodes as themselves, groups offset. *)
+let obs_flow f =
+  let dst =
+    match f.f_dest with
+    | To_node n -> n
+    | To_group g -> 1_000_000 + g
+    | Any_of_group g -> 2_000_000 + g
+  in
+  {
+    Strovl_obs.Trace.fi_src = f.f_src;
+    fi_sport = f.f_sport;
+    fi_dst = dst;
+    fi_dport = f.f_dport;
+  }
+
 let dest_compare a b =
   let rank = function To_node _ -> 0 | To_group _ -> 1 | Any_of_group _ -> 2 in
   match (a, b) with

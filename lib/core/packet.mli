@@ -119,6 +119,10 @@ val header_bytes : t -> int
 (** Estimated on-wire overlay header size: fixed fields plus the bitmask for
     source-routed packets. *)
 
+val obs_flow : flow -> Strovl_obs.Trace.flow_id
+(** The flow's identity for the {!Strovl_obs} flight recorder (group
+    destinations are offset into distinct integer ranges). *)
+
 val flow_compare : flow -> flow -> int
 val pp_flow : Format.formatter -> flow -> unit
 val pp : Format.formatter -> t -> unit

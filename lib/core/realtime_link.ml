@@ -40,6 +40,16 @@ type t = {
   mutable n_up : int;
 }
 
+let m_retrans =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "realtime") ]
+    "strovl_link_retransmits_total"
+
+let m_requests =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "realtime") ]
+    "strovl_link_nacks_total"
+
 let create ?(config = default_config) ctx =
   if config.n_requests < 1 || config.m_retrans < 1 then
     invalid_arg "Realtime_link: N and M must be >= 1";
@@ -116,6 +126,8 @@ let handle_request t lseq =
           (Engine.schedule t.ctx.Lproto.engine ~delay:(j * t.retrans_spacing)
              (fun () ->
                t.n_retrans <- t.n_retrans + 1;
+               Strovl_obs.Metrics.Counter.incr m_retrans;
+               Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
                xmit_data t lseq pkt))
       done
     | _ -> () (* too old: fell out of the history ring *)
@@ -139,6 +151,8 @@ let request_missing t lseq =
         Engine.schedule t.ctx.Lproto.engine ~delay:(i * t.request_spacing)
           (fun () ->
             t.n_requests_sent <- t.n_requests_sent + 1;
+            Strovl_obs.Metrics.Counter.incr m_requests;
+            Lproto.trace t.ctx (Strovl_obs.Trace.Nack (t.ctx.Lproto.link, lseq));
             t.ctx.Lproto.xmit (Msg.Rt_request { lseq }))
       in
       timers := h :: !timers

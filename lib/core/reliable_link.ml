@@ -56,6 +56,16 @@ let rto t =
   | None ->
     Time.max (Time.ms 5) (Time.add (3 * t.ctx.Lproto.rtt_hint) t.cfg.ack_delay)
 
+let m_retrans =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "reliable") ]
+    "strovl_link_retransmits_total"
+
+let m_nacks =
+  Strovl_obs.Metrics.counter
+    ~labels:[ ("proto", "reliable") ]
+    "strovl_link_nacks_total"
+
 let create ?(config = default_config) ctx =
   {
     ctx;
@@ -92,6 +102,8 @@ let rec arm_rto t =
              (match IntMap.min_binding_opt t.store with
              | Some (lseq, (pkt, auth)) ->
                t.n_retrans <- t.n_retrans + 1;
+               Strovl_obs.Metrics.Counter.incr m_retrans;
+               Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
                xmit_data t lseq pkt auth
              | None -> ());
              arm_rto t))
@@ -117,6 +129,8 @@ let handle_nack t missing =
       match IntMap.find_opt lseq t.store with
       | Some (pkt, auth) ->
         t.n_retrans <- t.n_retrans + 1;
+        Strovl_obs.Metrics.Counter.incr m_retrans;
+        Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
         xmit_data t lseq pkt auth
       | None -> () (* already acked: the nack crossed a retransmission *))
     missing;
@@ -168,6 +182,8 @@ let rec nack_loop t lseq tries () =
       advance_cum t
     end
     else begin
+      Strovl_obs.Metrics.Counter.incr m_nacks;
+      Lproto.trace t.ctx (Strovl_obs.Trace.Nack (t.ctx.Lproto.link, lseq));
       t.ctx.Lproto.xmit (Msg.Link_nack { cls = t.cls; missing = [ lseq ] });
       let h =
         Engine.schedule t.ctx.Lproto.engine ~delay:(nack_repeat t)

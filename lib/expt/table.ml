@@ -12,6 +12,34 @@ let cell_f x = Printf.sprintf "%.2f" x
 let cell_pct x = Printf.sprintf "%.1f%%" (100. *. x)
 let cell_ms x = Printf.sprintf "%.2fms" x
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let to_json t =
+  Printf.sprintf
+    "{\"id\":%s,\"title\":%s,\"header\":%s,\"rows\":%s,\"notes\":%s}"
+    (json_str t.id) (json_str t.title)
+    (json_list (List.map json_str t.header))
+    (json_list (List.map (fun row -> json_list (List.map json_str row)) t.rows))
+    (json_list (List.map json_str t.notes))
+
 let print ppf t =
   let all = t.header :: t.rows in
   let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in

@@ -21,6 +21,10 @@ val make :
 val print : Format.formatter -> t -> unit
 (** Aligned ASCII rendering with the id, title and notes. *)
 
+val to_json : t -> string
+(** The table as one JSON object ([id], [title], [header], [rows],
+    [notes]) for mechanical consumers. *)
+
 val cell_f : float -> string
 (** Formats a float with 2 decimals. *)
 

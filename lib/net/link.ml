@@ -21,10 +21,16 @@ type t = {
   ab : half; (* direction a -> b *)
   ba : half;
   mutable sent : int;
+  (* Per-link labelled metric handles, created once per link. *)
+  m_tx_pkts : Strovl_obs.Metrics.Counter.t;
+  m_tx_bytes : Strovl_obs.Metrics.Counter.t;
+  m_qdrops : Strovl_obs.Metrics.Counter.t;
+  m_backlog : Strovl_obs.Metrics.Histogram.t;
 }
 
 let create ?(config = default_config) underlay ~a ~b ~isp =
   if a = b then invalid_arg "Link.create: endpoints equal";
+  let labels = [ ("link", Printf.sprintf "%d-%d" a b) ] in
   {
     underlay;
     cfg = config;
@@ -35,6 +41,10 @@ let create ?(config = default_config) underlay ~a ~b ~isp =
     ab = { last_departure = Time.zero; drops = 0 };
     ba = { last_departure = Time.zero; drops = 0 };
     sent = 0;
+    m_tx_pkts = Strovl_obs.Metrics.counter ~labels "strovl_link_tx_packets_total";
+    m_tx_bytes = Strovl_obs.Metrics.counter ~labels "strovl_link_tx_bytes_total";
+    m_qdrops = Strovl_obs.Metrics.counter ~labels "strovl_link_queue_drops_total";
+    m_backlog = Strovl_obs.Metrics.histogram ~labels "strovl_link_backlog_us";
   }
 
 let a t = t.ea
@@ -93,10 +103,19 @@ let send t ~src ~bytes ~deliver =
   let now = Engine.now engine in
   let start = Time.max now h.last_departure in
   let departure = Time.add start (tx_time t bytes) in
-  if Time.sub departure now > t.cfg.queue_cap then h.drops <- h.drops + 1
+  if Time.sub departure now > t.cfg.queue_cap then begin
+    h.drops <- h.drops + 1;
+    Strovl_obs.Metrics.Counter.incr t.m_qdrops;
+    if !Strovl_obs.Trace.on then
+      Strovl_obs.Trace.emit ~node:src
+        (Strovl_obs.Trace.Drop Strovl_obs.Trace.Queue_full)
+  end
   else begin
     h.last_departure <- departure;
     t.sent <- t.sent + 1;
+    Strovl_obs.Metrics.Counter.incr t.m_tx_pkts;
+    Strovl_obs.Metrics.Counter.add t.m_tx_bytes (bytes + t.cfg.overhead_bytes);
+    Strovl_obs.Metrics.Histogram.observe t.m_backlog (Time.sub start now);
     let dst = other t src in
     (* Direction determines which provider is the source side. *)
     let isp_src, isp_dst =

@@ -60,6 +60,18 @@ let create ?(convergence = Time.sec 40) engine spec =
       Loss.bernoulli (Rng.split_named (Engine.rng engine) "peering") ~p:0.01;
   }
 
+let m_seg_fail = Strovl_obs.Metrics.counter "strovl_underlay_segment_failures_total"
+let m_seg_repair = Strovl_obs.Metrics.counter "strovl_underlay_segment_repairs_total"
+let m_lost = Strovl_obs.Metrics.counter "strovl_underlay_lost_total"
+
+(* A wire loss is a drop in flight: charge it to the sending site so the
+   flight recorder shows where the packet vanished. *)
+let note_lost src =
+  Strovl_obs.Metrics.Counter.incr m_lost;
+  if !Strovl_obs.Trace.on then
+    Strovl_obs.Trace.emit ~node:src
+      (Strovl_obs.Trace.Drop Strovl_obs.Trace.Wire_loss)
+
 let set_segment_loss t si loss =
   if si < 0 || si >= nsegments t then invalid_arg "Underlay.set_segment_loss";
   t.seg_loss.(si) <- loss
@@ -75,6 +87,7 @@ let fail_segment t si =
   if si < 0 || si >= nsegments t then invalid_arg "Underlay.fail_segment";
   if t.seg_up.(si) then begin
     t.seg_up.(si) <- false;
+    Strovl_obs.Metrics.Counter.incr m_seg_fail;
     ignore
       (Engine.schedule t.engine ~delay:t.convergence (fun () ->
            (* Convergence: routing stops using the segment — unless it was
@@ -89,6 +102,7 @@ let repair_segment t si =
   if si < 0 || si >= nsegments t then invalid_arg "Underlay.repair_segment";
   if not t.seg_up.(si) then begin
     t.seg_up.(si) <- true;
+    Strovl_obs.Metrics.Counter.incr m_seg_repair;
     ignore
       (Engine.schedule t.engine ~delay:t.convergence (fun () ->
            if t.seg_up.(si) then begin
@@ -157,7 +171,7 @@ let transmit_result t ~isp ~src ~dst =
 
 let transmit t ~isp ~src ~dst ~deliver =
   match transmit_result t ~isp ~src ~dst with
-  | `Lost -> ()
+  | `Lost -> note_lost src
   | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)
 
 (* --------------------------- off-net paths --------------------------- *)
@@ -239,5 +253,5 @@ let transmit_result_pair t ~isp_src ~isp_dst ~src ~dst =
 
 let transmit_pair t ~isp_src ~isp_dst ~src ~dst ~deliver =
   match transmit_result_pair t ~isp_src ~isp_dst ~src ~dst with
-  | `Lost -> ()
+  | `Lost -> note_lost src
   | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)

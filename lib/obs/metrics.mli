@@ -1,0 +1,73 @@
+(** Process-wide registry of labelled counters, gauges and histograms.
+
+    Handles are created (or looked up) once at component-construction time;
+    hot-path updates are O(1) field writes guarded by a single module-level
+    [enabled] flag, so the disabled mode costs one dereference and a
+    branch. Histograms are bounded log-bucket (powers of two) so long chaos
+    soaks cannot grow memory, unlike [Strovl_sim.Stats.Series] which keeps
+    every sample. *)
+
+type labels = (string * string) list
+(** Sorted on registration; [("link", "3-7")]-style dimensions. *)
+
+val enabled : bool ref
+(** When [false] every update is a no-op. Default [true] — the counters are
+    the cheap always-available layer; flip off for microbenchmarks. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> int -> unit
+  (** Records a non-negative integer sample (negative samples clamp to 0)
+      into its log2 bucket. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val min : t -> int
+  (** 0 when empty. *)
+
+  val max : t -> int
+
+  val quantile : t -> float -> float
+  (** [quantile h 0.99]: an estimate from the bucket boundaries (geometric
+      bucket midpoint); exact enough for summaries, O(buckets). *)
+
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets as [(upper_bound_exclusive, count)]. *)
+end
+
+val counter : ?labels:labels -> string -> Counter.t
+val gauge : ?labels:labels -> string -> Gauge.t
+val histogram : ?labels:labels -> string -> Histogram.t
+(** Get-or-create: the same (name, labels) always returns the same handle,
+    so registration is idempotent across repeated component construction.
+    Raises [Invalid_argument] if the name exists with a different kind. *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : int; p50 : float; p99 : float; max : int }
+
+val dump : unit -> (string * labels * value) list
+(** Snapshot of every registered metric, sorted by (name, labels). *)
+
+val find_counter : ?labels:labels -> string -> int
+(** Current value, 0 when never registered. *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric (handles stay valid). *)

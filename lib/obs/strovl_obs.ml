@@ -1,0 +1,10 @@
+(** Observability for the overlay: {!Metrics} (cheap always-available
+    labelled counters/gauges/bounded histograms), {!Trace} (an on-demand
+    bounded flight recorder of typed per-packet events), and {!Export}
+    (JSONL dumps and pretty summaries). Sits below every other library so
+    the simulation substrate, the underlay, and the protocol stack can all
+    report into one place. *)
+
+module Metrics = Metrics
+module Trace = Trace
+module Export = Export

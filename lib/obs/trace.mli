@@ -1,0 +1,91 @@
+(** Flight-recorder tracing: a bounded ring buffer of typed overlay events.
+
+    The recorder is process-wide and off by default; when off, the hot-path
+    cost at an instrumentation site is one [ref] dereference (sites guard
+    with [if !on then emit ...]). When on, every event records who
+    ([node]), what ([event]), which packet ([flow], [seq]) and when
+    (sim-time, read from the clock hook the simulation engine installs), so
+    a packet's full causal path through the overlay — enqueue, per-hop
+    forwards, drops with reasons, retransmissions, reroutes, delivery — can
+    be reconstructed after the fact. The ring keeps the most recent
+    [capacity] events; older ones are overwritten (it is a flight recorder,
+    not a log). *)
+
+type flow_id = { fi_src : int; fi_sport : int; fi_dst : int; fi_dport : int }
+(** Library-neutral flow identity. [fi_dst] carries the destination
+    encoding produced by [Packet.obs_flow] (nodes as themselves, groups
+    offset into distinct ranges). *)
+
+val no_flow : flow_id
+(** Placeholder for events with no packet context (reroutes, LSU floods,
+    wire-level drops): all fields [-1]. *)
+
+type reason =
+  | No_route
+  | Ttl
+  | Auth
+  | Dup
+  | Backpressure
+  | Overload  (** node CPU queue overflow (§II-D) *)
+  | Queue_full  (** link serialization queue tail-drop *)
+  | Priority_evict  (** IT-Priority oldest-lowest eviction (§IV-B) *)
+  | Wire_loss  (** lost on an underlay fiber segment or peering point *)
+
+type event =
+  | Enqueue  (** packet entered the overlay at this node *)
+  | Forward of int  (** sent onward on link [l] *)
+  | Drop of reason
+  | Retransmit of int  (** link protocol retransmission on link [l] *)
+  | Nack of int * int  (** recovery request on link [l] for lseq [n] *)
+  | Reroute of int * bool  (** local view of link [l] flipped to up/down *)
+  | Lsu_flood
+  | Deliver  (** handed to a local session *)
+  | Fec_recover of int  (** reconstructed from parity on link [l] *)
+
+type record = {
+  ts : int;  (** sim-time (µs) at which the event was recorded *)
+  node : int;
+  flow : flow_id;
+  seq : int;
+  ev : event;
+}
+
+val on : bool ref
+(** Whether the recorder is armed. Instrumentation sites must check this
+    before building event arguments so the disabled path stays free. *)
+
+val set_clock : (unit -> int) -> unit
+(** Installed by the simulation engine: how [emit] reads the current
+    sim-time. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Arms the recorder with a fresh ring (default capacity 2^18 events). *)
+
+val disable : unit -> unit
+(** Disarms and discards the ring. *)
+
+val clear : unit -> unit
+(** Empties the ring but keeps recording. *)
+
+val emit : ?flow:flow_id -> ?seq:int -> node:int -> event -> unit
+(** Records one event at the current sim-time. No-op when disarmed. *)
+
+val length : unit -> int
+(** Events currently retained. *)
+
+val total : unit -> int
+(** Events ever emitted since [enable]/[clear] (≥ [length]; the difference
+    is how many the ring overwrote). *)
+
+val records : unit -> record list
+(** Retained events in chronological order. *)
+
+val iter : (record -> unit) -> unit
+
+val digest : unit -> int64
+(** FNV-1a hash over the retained events (and [total]), for determinism
+    checks: same seed, same workload ⇒ same digest. *)
+
+val reason_to_string : reason -> string
+val event_to_string : event -> string
+val pp_record : Format.formatter -> record -> unit

@@ -10,7 +10,13 @@ type t = {
 }
 
 let create ?(seed = 1L) () =
-  { clock = Time.zero; seq = 0; queue = Heap.create (); root_rng = Rng.create seed }
+  let t =
+    { clock = Time.zero; seq = 0; queue = Heap.create (); root_rng = Rng.create seed }
+  in
+  (* The flight recorder timestamps events with this engine's virtual
+     clock. Last engine created wins — one live simulation per process. *)
+  Strovl_obs.Trace.set_clock (fun () -> t.clock);
+  t
 
 let now t = t.clock
 let rng t = t.root_rng

@@ -93,6 +93,8 @@ let it_priority_queue_len () =
   let ctx =
     {
       Strovl.Lproto.engine;
+      node = -1;
+      link = -1;
       xmit = ignore;
       up = ignore;
       try_up = (fun _ -> true);

@@ -1,0 +1,135 @@
+(* Unit tests for the strovl_obs flight recorder, metrics registry and
+   export layer, independent of the overlay stack. *)
+
+module M = Strovl_obs.Metrics
+module T = Strovl_obs.Trace
+module E = Strovl_obs.Export
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let flow = { T.fi_src = 1; fi_sport = 10; fi_dst = 2; fi_dport = 20 }
+
+let metrics_counters_and_labels () =
+  M.reset ();
+  let c = M.counter "obs_test_total" in
+  let c' = M.counter "obs_test_total" in
+  M.Counter.incr c;
+  M.Counter.add c' 4;
+  check_int "same handle" 5 (M.Counter.value c);
+  check_int "find_counter" 5 (M.find_counter "obs_test_total");
+  let la = M.counter ~labels:[ ("x", "a") ] "obs_test_labelled" in
+  let lb = M.counter ~labels:[ ("x", "b") ] "obs_test_labelled" in
+  M.Counter.incr la;
+  check_int "labels separate" 0 (M.Counter.value lb);
+  check_int "labelled lookup" 1 (M.find_counter ~labels:[ ("x", "a") ] "obs_test_labelled");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: obs_test_total already registered with another kind")
+    (fun () -> ignore (M.gauge "obs_test_total"))
+
+let metrics_disabled_is_noop () =
+  M.reset ();
+  let c = M.counter "obs_test_gate" in
+  M.enabled := false;
+  M.Counter.incr c;
+  M.enabled := true;
+  check_int "no update while disabled" 0 (M.Counter.value c);
+  M.Counter.incr c;
+  check_int "updates resume" 1 (M.Counter.value c)
+
+let metrics_histogram_quantiles () =
+  M.reset ();
+  let h = M.histogram "obs_test_hist" in
+  for i = 1 to 1000 do
+    M.Histogram.observe h i
+  done;
+  check_int "count" 1000 (M.Histogram.count h);
+  check_int "sum" 500_500 (M.Histogram.sum h);
+  check_int "max" 1000 (M.Histogram.max h);
+  (* Log-bucket estimates: within one power-of-two bucket of the truth. *)
+  let p50 = M.Histogram.quantile h 0.5 in
+  check_bool "p50 in bucket range" true (p50 >= 256. && p50 <= 1024.);
+  let p99 = M.Histogram.quantile h 0.99 in
+  check_bool "p99 in bucket range" true (p99 >= 512. && p99 <= 2048.)
+
+let trace_off_by_default () =
+  T.disable ();
+  check_bool "off" false !T.on;
+  T.emit ~node:0 T.Lsu_flood;
+  check_int "no events recorded" 0 (T.total ())
+
+let trace_ring_wraps () =
+  T.enable ~capacity:8 ();
+  T.set_clock (fun () -> 42);
+  for i = 0 to 19 do
+    T.emit ~flow ~seq:i ~node:3 T.Enqueue
+  done;
+  check_int "retains capacity" 8 (T.length ());
+  check_int "counts all" 20 (T.total ());
+  let seqs = List.map (fun r -> r.T.seq) (T.records ()) in
+  Alcotest.(check (list int)) "chronological, newest kept"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    seqs;
+  T.disable ()
+
+let trace_digest_sensitivity () =
+  let run evs =
+    T.enable ~capacity:64 ();
+    T.set_clock (fun () -> 7);
+    List.iter (fun ev -> T.emit ~flow ~seq:0 ~node:1 ev) evs;
+    let d = T.digest () in
+    T.disable ();
+    d
+  in
+  let d1 = run [ T.Enqueue; T.Forward 2; T.Deliver ] in
+  let d2 = run [ T.Enqueue; T.Forward 2; T.Deliver ] in
+  let d3 = run [ T.Enqueue; T.Forward 3; T.Deliver ] in
+  Alcotest.(check int64) "same events same digest" d1 d2;
+  check_bool "different events differ" true (d1 <> d3)
+
+let export_path_and_drops () =
+  M.reset ();
+  T.enable ~capacity:64 ();
+  T.set_clock (fun () -> 100);
+  T.emit ~flow ~seq:5 ~node:1 T.Enqueue;
+  T.emit ~flow ~seq:5 ~node:1 (T.Forward 0);
+  T.emit ~flow ~seq:5 ~node:2 (T.Retransmit 0);
+  T.emit ~flow ~seq:6 ~node:1 T.Enqueue;
+  T.emit ~flow ~seq:6 ~node:1 (T.Drop T.No_route);
+  T.emit ~flow ~seq:5 ~node:2 T.Deliver;
+  let path = E.path_of ~flow ~seq:5 in
+  check_int "path events for seq 5" 4 (List.length path);
+  (match E.drop_counts () with
+  | [ ("no-route", 1) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected drops: %s"
+      (String.concat ";" (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) other)));
+  check_int "retransmits" 1 (E.retransmit_count ());
+  (match E.sample_packet () with
+  | Some (f, seq) ->
+    check_bool "samples the delivered+retransmitted packet" true
+      (f = flow && seq = 5)
+  | None -> Alcotest.fail "expected a sample");
+  let json = E.record_json (List.hd path) in
+  check_bool "record json has event" true
+    (String.length json > 0 && json.[0] = '{');
+  T.disable ()
+
+let () =
+  Alcotest.run "strovl_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and labels" `Quick metrics_counters_and_labels;
+          Alcotest.test_case "disabled is no-op" `Quick metrics_disabled_is_noop;
+          Alcotest.test_case "histogram quantiles" `Quick metrics_histogram_quantiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "off by default" `Quick trace_off_by_default;
+          Alcotest.test_case "ring wraps" `Quick trace_ring_wraps;
+          Alcotest.test_case "digest sensitivity" `Quick trace_digest_sensitivity;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "path and drops" `Quick export_path_and_drops ] );
+    ]

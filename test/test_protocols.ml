@@ -56,6 +56,8 @@ let make_pipe ?(delay = Time.ms 5) () =
   let ctx xmit up try_up =
     {
       Lproto.engine;
+      node = -1;
+      link = -1;
       xmit;
       up;
       try_up;

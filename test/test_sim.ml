@@ -267,6 +267,61 @@ let stats_clear_and_counter () =
   check_float "ratio" 0.5 (Stats.ratio 1 2);
   check_float "ratio den 0" 0. (Stats.ratio 1 0)
 
+(* Naive sort-based oracles for Series summary queries. *)
+let oracle_percentile xs p =
+  match xs with
+  | [] -> 0.
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let oracle_jitter xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | x :: rest ->
+    let diffs, _ =
+      List.fold_left (fun (acc, prev) x -> (acc +. Float.abs (x -. prev), x)) (0., x) rest
+    in
+    diffs /. float_of_int (List.length rest)
+
+let series_of xs =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) xs;
+  s
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs b)
+
+let sample_gen =
+  QCheck.(list_of_size Gen.(0 -- 60) (map float_of_int (int_range (-500) 500)))
+
+let qcheck_percentile_oracle =
+  QCheck.Test.make ~name:"percentile matches sort oracle" ~count:500
+    QCheck.(pair sample_gen (float_bound_inclusive 100.))
+    (fun (xs, p) ->
+      close (Stats.Series.percentile (series_of xs) p) (oracle_percentile xs p))
+
+let qcheck_median_oracle =
+  QCheck.Test.make ~name:"median is nearest-rank p50" ~count:500 sample_gen
+    (fun xs -> close (Stats.Series.median (series_of xs)) (oracle_percentile xs 50.))
+
+let qcheck_jitter_oracle =
+  QCheck.Test.make ~name:"jitter matches consecutive-diff oracle" ~count:500
+    sample_gen (fun xs -> close (Stats.Series.jitter (series_of xs)) (oracle_jitter xs))
+
+let stats_oracle_edges () =
+  let empty = series_of [] in
+  check_float "empty percentile" 0. (Stats.Series.percentile empty 99.);
+  check_float "empty median" 0. (Stats.Series.median empty);
+  check_float "empty jitter" 0. (Stats.Series.jitter empty);
+  let one = series_of [ 42. ] in
+  check_float "single p0" 42. (Stats.Series.percentile one 0.);
+  check_float "single p100" 42. (Stats.Series.percentile one 100.);
+  check_float "single median" 42. (Stats.Series.median one);
+  check_float "single jitter" 0. (Stats.Series.jitter one)
+
 let qcheck_percentile_bounds =
   QCheck.Test.make ~name:"percentile within min..max" ~count:300
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.)) (float_bound_inclusive 100.))
@@ -385,7 +440,11 @@ let () =
           Alcotest.test_case "percentile" `Quick stats_percentile_nearest_rank;
           Alcotest.test_case "jitter" `Quick stats_jitter;
           Alcotest.test_case "clear/counter" `Quick stats_clear_and_counter;
+          Alcotest.test_case "oracle edges" `Quick stats_oracle_edges;
           q qcheck_percentile_bounds;
+          q qcheck_percentile_oracle;
+          q qcheck_median_oracle;
+          q qcheck_jitter_oracle;
         ] );
       ( "loss",
         [

@@ -271,6 +271,46 @@ let chaos_soak_reliable_exactly_once () =
     done
   done
 
+(* The flight recorder must be as deterministic as the simulation itself:
+   the same seed over a chaos soak yields bit-identical event streams. A
+   digest mismatch means some instrumentation site depends on wall-clock
+   state or hashtable iteration order. *)
+let trace_determinism () =
+  let soak seed =
+    Strovl_obs.Trace.enable ~capacity:(1 lsl 16) ();
+    let engine = Engine.create ~seed () in
+    let net = Strovl.Net.create engine (Gen.us_backbone ()) in
+    Strovl.Net.start net;
+    Strovl.Net.settle net;
+    let rng = Rng.split_named (Engine.rng engine) "soak" in
+    ignore
+      (Strovl_attack.Chaos.start ~net ~rng ~mean_interval:(Time.ms 1500)
+         ~mean_outage:(Time.ms 800) ());
+    let tx = Strovl.Client.attach (Strovl.Net.node net 0) ~port:1 in
+    let rx = Strovl.Client.attach (Strovl.Net.node net 8) ~port:2 in
+    Strovl.Client.set_receiver rx ignore;
+    let sender =
+      Strovl.Client.sender tx ~service:P.Reliable ~dest:(P.To_node 8) ~dport:2 ()
+    in
+    let count = 500 in
+    ignore
+      (Strovl_apps.Source.start ~engine ~sender ~interval:(Time.ms 20) ~bytes:600
+         ~count ());
+    run_ms engine (20 * count);
+    run_ms engine 10_000;
+    let d = Strovl_obs.Trace.digest () in
+    let n = Strovl_obs.Trace.total () in
+    Strovl_obs.Trace.disable ();
+    (d, n)
+  in
+  let d1, n1 = soak 404L in
+  let d2, n2 = soak 404L in
+  check_bool "trace nonempty" true (n1 > 0);
+  check_int "same event count" n1 n2;
+  Alcotest.(check int64) "same digest" d1 d2;
+  let d3, _ = soak 405L in
+  check_bool "different seed, different digest" true (d1 <> d3)
+
 let chaos_respects_partition_guard () =
   (* On a chain every failure partitions: the guard must skip them all. *)
   let engine = Engine.create ~seed:405L () in
@@ -303,6 +343,7 @@ let () =
       ( "chaos",
         [
           Alcotest.test_case "soak: reliable exactly once" `Slow chaos_soak_reliable_exactly_once;
+          Alcotest.test_case "trace determinism" `Slow trace_determinism;
           Alcotest.test_case "partition guard" `Quick chaos_respects_partition_guard;
         ] );
     ]
