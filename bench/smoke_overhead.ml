@@ -4,8 +4,10 @@
    forwarding path must cost one ref dereference and a branch. This check
    measures the full 4-hop SEA->MIA forward path (same fixture as the
    perhop-cost bench) and fails if it exceeds a generous absolute bound, or
-   if any trace event leaked out while the recorder was off. It is a smoke
-   gate against gross regressions (accidental allocation or formatting in a
+   if any trace event, time-series bucket, or link-probe state leaked out
+   while the corresponding layer was off (probing is opt-in per node; the
+   default config must produce zero probe traffic). It is a smoke gate
+   against gross regressions (accidental allocation or formatting in a
    guard), not a precision benchmark. *)
 
 module P = Strovl.Packet
@@ -66,6 +68,19 @@ let () =
   end;
   if delivered = 0 then begin
     print_endline "FAIL: nothing delivered; fixture broken";
+    failed := true
+  end;
+  (* Probing is opt-in: the default node config must not have created any
+     prober (no health state, no probe wire traffic). *)
+  if Strovl_obs.Health.all () <> [] then begin
+    Printf.printf "FAIL: %d health entries exist with probing disabled\n"
+      (List.length (Strovl_obs.Health.all ()));
+    failed := true
+  end;
+  (* The time-series layer was never enabled: no channel may hold buckets. *)
+  if Strovl_obs.Series.channels () <> [] then begin
+    Printf.printf "FAIL: %d series channels collected buckets while off\n"
+      (List.length (Strovl_obs.Series.channels ()));
     failed := true
   end;
   if !failed then exit 1;

@@ -30,10 +30,7 @@ let run_experiments ids quick seed json =
   if !unknown then 1 else 0
 
 let list_experiments () =
-  List.iter
-    (fun (e : Strovl_expt.experiment) ->
-      Printf.printf "%-18s %s\n" e.Strovl_expt.id e.Strovl_expt.summary)
-    Strovl_expt.all;
+  Strovl_expt.print_list ();
   0
 
 let ids =

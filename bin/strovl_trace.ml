@@ -193,10 +193,20 @@ let summary_cmd =
     (Cmd.info "summary" ~doc)
     Term.(const summary_main $ id_arg $ quick $ seed $ capacity $ json)
 
+let list_cmd =
+  let doc = "list the experiments this tool can trace" in
+  Cmd.v
+    (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          Strovl_expt.print_list ();
+          0)
+      $ const ())
+
 let main =
   let doc = "flight-recorder tracing for the overlay experiments" in
   Cmd.group
     (Cmd.info "strovl_trace" ~doc)
-    [ run_cmd; path_cmd; drops_cmd; links_cmd; summary_cmd ]
+    [ run_cmd; path_cmd; drops_cmd; links_cmd; summary_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

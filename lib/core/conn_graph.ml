@@ -155,6 +155,10 @@ let apply_lsu t ~origin ~lsu_seq links =
       t.version <- t.version + 1;
       Strovl_obs.Metrics.Counter.incr m_lsu_applied
     end;
+    (* A fresher LSU was accepted (seq advanced), whether or not any side
+       changed: the auditor uses this to bound reroute propagation. *)
+    if !Strovl_obs.Trace.on then
+      Strovl_obs.Trace.emit ~node:t.self (Strovl_obs.Trace.Lsu_apply origin);
     true
   end
 

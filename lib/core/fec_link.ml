@@ -208,7 +208,8 @@ let recv t = function
   | Msg.Data { lseq; pkt; _ } -> handle_data t lseq pkt
   | Msg.Fec_parity { block; k; blk_pkts; _ } -> handle_parity t ~block ~k ~blk_pkts
   | Msg.Link_ack _ | Msg.Link_nack _ | Msg.Rt_request _ | Msg.It_ack _
-  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Probe _ | Msg.Probe_ack _
+  | Msg.Lsu _ | Msg.Group_update _ ->
     ()
 
 let sent t = t.n_sent

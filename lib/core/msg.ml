@@ -17,6 +17,8 @@ type t =
     }
   | Hello of { hseq : int; sent_at : Strovl_sim.Time.t }
   | Hello_ack of { hseq : int; echo : Strovl_sim.Time.t }
+  | Probe of { pseq : int; sent_at : Strovl_sim.Time.t }
+  | Probe_ack of { pseq : int; echo : Strovl_sim.Time.t }
   | Lsu of {
       origin : node;
       lsu_seq : int;
@@ -43,6 +45,8 @@ let bytes = function
   | Fec_parity { bytes; _ } -> 16 + bytes
   | Hello _ -> 16
   | Hello_ack _ -> 16
+  | Probe _ -> 16
+  | Probe_ack _ -> 16
   | Lsu { links; auth; _ } -> 12 + (8 * List.length links) + auth_bytes auth
   | Group_update { memb; auth; _ } -> 12 + (5 * List.length memb) + auth_bytes auth
 
@@ -66,7 +70,7 @@ let signable = function
     Printf.sprintf "data/%d/%d/%d/%d" f.Packet.f_src f.Packet.f_sport
       pkt.Packet.seq pkt.Packet.bytes
   | Link_ack _ | Link_nack _ | Rt_request _ | It_ack _ | Fec_parity _
-  | Hello _ | Hello_ack _ ->
+  | Hello _ | Hello_ack _ | Probe _ | Probe_ack _ ->
     invalid_arg "Msg.signable: hop-local message"
 
 let pp ppf = function
@@ -81,6 +85,8 @@ let pp ppf = function
     Format.fprintf ppf "fec-parity(b%d,#%d,k=%d)" block idx k
   | Hello { hseq; _ } -> Format.fprintf ppf "hello(%d)" hseq
   | Hello_ack { hseq; _ } -> Format.fprintf ppf "hello-ack(%d)" hseq
+  | Probe { pseq; _ } -> Format.fprintf ppf "probe(%d)" pseq
+  | Probe_ack { pseq; _ } -> Format.fprintf ppf "probe-ack(%d)" pseq
   | Lsu { origin; lsu_seq; links; _ } ->
     Format.fprintf ppf "lsu(from %d,#%d,%d links)" origin lsu_seq
       (List.length links)

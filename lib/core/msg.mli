@@ -45,6 +45,10 @@ type t =
   | Hello of { hseq : int; sent_at : Strovl_sim.Time.t }
   | Hello_ack of { hseq : int; echo : Strovl_sim.Time.t }
       (** echoes the hello sender's timestamp for RTT estimation *)
+  | Probe of { pseq : int; sent_at : Strovl_sim.Time.t }
+      (** health probe ([Probe_link]): like [Hello] but on its own
+          configurable period, feeding the [Strovl_obs.Health] registry *)
+  | Probe_ack of { pseq : int; echo : Strovl_sim.Time.t }
   | Lsu of {
       origin : node;
       lsu_seq : int;

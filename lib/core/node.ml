@@ -18,6 +18,8 @@ type config = {
   fec : Fec_link.config;
   authenticate : bool;
   loss_aware_routing : bool;
+  probe : Probe_link.config option;
+  probe_routing : bool;
 }
 
 let default_config =
@@ -36,6 +38,8 @@ let default_config =
     fec = Fec_link.default_config;
     authenticate = false;
     loss_aware_routing = false;
+    probe = None;
+    probe_routing = false;
   }
 
 (* Observability: process-wide labelled metrics (always-available twins of
@@ -98,6 +102,7 @@ type endpoint = {
   mutable ep_hello_window_acked : int;
   mutable ep_loss_est : int; (* permille *)
   mutable ep_last_suspect : Time.t;
+  mutable ep_probe : Probe_link.t option;
 }
 
 type t = {
@@ -116,12 +121,17 @@ type t = {
   mutable suspect_hook : int -> unit;
   mutable started : bool;
   mutable cpu_busy_until : Time.t; (* finite-capacity CPU server (§II-D) *)
+  (* Time-series channels (Strovl_obs.Series; off by default). *)
+  s_delivered : Strovl_obs.Series.ch;
+  s_dropped : Strovl_obs.Series.ch;
+  s_flow_delivered : (Packet.flow, Strovl_obs.Series.ch) Hashtbl.t;
 }
 
 (* One packet-flavoured drop: metric plus (when armed) a trace event that
    names the packet so the causal path shows where and why it died. *)
 let note_drop t pkt reason mctr =
   Om.Counter.incr mctr;
+  if !Strovl_obs.Series.on then Strovl_obs.Series.incr t.s_dropped;
   if !Obs.on then
     Obs.emit
       ~flow:(Packet.obs_flow pkt.Packet.flow)
@@ -165,6 +175,15 @@ let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
     suspect_hook = (fun _ -> ());
     started = false;
     cpu_busy_until = Time.zero;
+    s_delivered =
+      Strovl_obs.Series.channel
+        ~labels:[ ("node", string_of_int id) ]
+        "strovl_node_delivered";
+    s_dropped =
+      Strovl_obs.Series.channel
+        ~labels:[ ("node", string_of_int id) ]
+        "strovl_node_dropped";
+    s_flow_delivered = Hashtbl.create 8;
   }
 
 let id t = t.id
@@ -238,7 +257,29 @@ let deliver_local t pkt ~port =
     Om.Counter.incr m_delivered;
     Om.Histogram.observe m_delivery_latency
       (Time.sub (Engine.now t.engine) pkt.Packet.sent_at);
-    trace_pkt t pkt Obs.Deliver;
+    if !Strovl_obs.Series.on then begin
+      Strovl_obs.Series.incr t.s_delivered;
+      let ch =
+        match Hashtbl.find_opt t.s_flow_delivered pkt.Packet.flow with
+        | Some ch -> ch
+        | None ->
+          let fi = Packet.obs_flow pkt.Packet.flow in
+          let label =
+            Printf.sprintf "%d:%d->%d:%d" fi.Strovl_obs.Trace.fi_src
+              fi.Strovl_obs.Trace.fi_sport fi.Strovl_obs.Trace.fi_dst
+              fi.Strovl_obs.Trace.fi_dport
+          in
+          let ch =
+            Strovl_obs.Series.channel
+              ~labels:[ ("flow", label) ]
+              "strovl_flow_delivered"
+          in
+          Hashtbl.replace t.s_flow_delivered pkt.Packet.flow ch;
+          ch
+      in
+      Strovl_obs.Series.incr ch
+    end;
+    trace_pkt t pkt (if pkt.Packet.replay then Obs.Deliver_replay else Obs.Deliver);
     deliver pkt
 
 (* Ports at this node that must receive the packet. *)
@@ -391,7 +432,9 @@ and send_on t ep pkt =
   let pkt = Packet.next_hop_copy pkt in
   t.ctrs.forwarded <- t.ctrs.forwarded + 1;
   Om.Counter.incr m_forwarded;
-  trace_pkt t pkt (Obs.Forward ep.ep_link);
+  trace_pkt t pkt
+    (if pkt.Packet.replay then Obs.Forward_replay ep.ep_link
+     else Obs.Forward ep.ep_link);
   match get_proto t ep (Packet.service_class pkt.Packet.service) with
   | P_best p -> Best_effort.send p pkt
   | P_rel p -> Reliable_link.send p pkt
@@ -521,6 +564,11 @@ and try_accept t ~from_link pkt =
 (* Hello protocol (link liveness + RTT)                                *)
 (* ------------------------------------------------------------------ *)
 
+(* When probing is configured to drive routing, the probe protocol — not
+   the hello protocol — supplies the advertised metric and loss (the hello
+   protocol keeps its liveness role: timeout detection and ISP rotation). *)
+let probe_drives t = t.cfg.probe_routing && t.cfg.probe <> None
+
 let mark_alive t ep =
   ep.ep_last_heard <- Engine.now t.engine;
   if not (Conn_graph.local_view t.conn_graph ep.ep_link) then
@@ -538,9 +586,10 @@ let handle_hello_ack t ep echo =
     (* EWMA 7/8, and advertise the one-way latency as the link metric. *)
     ep.ep_rtt <-
       if ep.ep_rtt = 0 then sample else ((7 * ep.ep_rtt) + sample) / 8;
-    flood_local_update t
-      (Conn_graph.set_local_metric t.conn_graph ~link:ep.ep_link
-         ~metric:(max 1 (ep.ep_rtt / 2)))
+    if not (probe_drives t) then
+      flood_local_update t
+        (Conn_graph.set_local_metric t.conn_graph ~link:ep.ep_link
+           ~metric:(max 1 (ep.ep_rtt / 2)))
   end;
   mark_alive t ep
 
@@ -599,8 +648,10 @@ let hello_tick t ep () =
     ep.ep_loss_est <- ((3 * ep.ep_loss_est) + sample) / 4;
     ep.ep_hello_window_sent <- 0;
     ep.ep_hello_window_acked <- 0;
-    flood_local_update t
-      (Conn_graph.set_local_loss t.conn_graph ~link:ep.ep_link ~loss:ep.ep_loss_est)
+    if not (probe_drives t) then
+      flood_local_update t
+        (Conn_graph.set_local_loss t.conn_graph ~link:ep.ep_link
+           ~loss:ep.ep_loss_est)
   end;
   ep.ep_xmit (Msg.Hello { hseq = ep.ep_hello_seq; sent_at = now })
 
@@ -624,6 +675,16 @@ let receive t ~link msg =
     match msg with
     | Msg.Hello { hseq; sent_at } -> handle_hello t ep hseq sent_at
     | Msg.Hello_ack { echo; _ } -> handle_hello_ack t ep echo
+    | Msg.Probe { pseq; sent_at } ->
+      (* Stateless responder: echo the probe's timestamp. Any probe is
+         also liveness evidence, like a hello. *)
+      mark_alive t ep;
+      ep.ep_xmit (Msg.Probe_ack { pseq; echo = sent_at })
+    | Msg.Probe_ack { pseq; echo } ->
+      mark_alive t ep;
+      (match ep.ep_probe with
+      | Some p -> Probe_link.handle_ack p ~pseq ~echo
+      | None -> ())
     | Msg.Lsu { origin; lsu_seq; links; auth } ->
       if verify_flood t ~origin msg auth then begin
         if Conn_graph.apply_lsu t.conn_graph ~origin ~lsu_seq links then
@@ -680,7 +741,47 @@ let attach_link t ~link ~neighbor ~bandwidth_bps ~xmit =
       ep_hello_window_acked = 0;
       ep_loss_est = 0;
       ep_last_suspect = Time.zero;
+      ep_probe = None;
     }
+
+(* Health probing on one endpoint. Observational by default; with
+   [probe_routing] the probe-derived expected-latency ingredients (one-way
+   latency + loss, which the connectivity graph expands into latency ×
+   1/(1-p)² when loss-aware routing is on) are what the node advertises,
+   and the k-missed verdict complements the hello timeout for take-down. *)
+let start_probe t ep pcfg =
+  let ctx =
+    {
+      Lproto.engine = t.engine;
+      node = t.id;
+      link = ep.ep_link;
+      xmit = ep.ep_xmit;
+      up = (fun _ -> ());
+      try_up = (fun _ -> false);
+      bandwidth_bps = ep.ep_bandwidth;
+      rtt_hint = ep.ep_rtt;
+    }
+  in
+  let p = Probe_link.create ~config:pcfg ctx in
+  if probe_drives t then begin
+    Probe_link.set_on_update p (fun h ->
+        flood_local_update t
+          (Conn_graph.set_local_metric t.conn_graph ~link:ep.ep_link
+             ~metric:(max 1 (h.Strovl_obs.Health.rtt_us / 2)));
+        flood_local_update t
+          (Conn_graph.set_local_loss t.conn_graph ~link:ep.ep_link
+             ~loss:(max 0 h.Strovl_obs.Health.loss_pm)));
+    Probe_link.set_on_verdict p (fun ~alive ->
+        if not alive && Conn_graph.local_view t.conn_graph ep.ep_link then begin
+          flood_local_update t
+            (Conn_graph.set_local t.conn_graph ~link:ep.ep_link ~up:false);
+          reroute_stranded_reliable t ep;
+          t.suspect_hook ep.ep_link
+        end
+        else if alive then mark_alive t ep)
+  end;
+  ep.ep_probe <- Some p;
+  Probe_link.start p
 
 let start t =
   if not t.started then begin
@@ -688,6 +789,9 @@ let start t =
     Hashtbl.iter
       (fun _ ep ->
         ep.ep_last_heard <- Engine.now t.engine;
+        (match t.cfg.probe with
+        | Some pcfg -> start_probe t ep pcfg
+        | None -> ());
         let rec tick () =
           hello_tick t ep ();
           ignore (Engine.schedule t.engine ~delay:t.cfg.hello_interval tick)

@@ -44,6 +44,18 @@ type config = {
       (** route on the loss-inflated metric (§II-B: the connectivity graph
           shares "loss and latency characteristics") so lossy-but-alive
           links are avoided when a clean detour exists; default off *)
+  probe : Probe_link.config option;
+      (** run the health probe protocol on every incident link, feeding
+          [Strovl_obs.Health] (RTT/jitter/loss EWMAs + k-missed liveness
+          verdict); default [None] (off — and with it off the forward path
+          carries no probing cost at all) *)
+  probe_routing : bool;
+      (** advertise probe-derived latency/loss in LSUs instead of the
+          hello protocol's estimates (the hello protocol keeps its
+          liveness-timeout role), and let a dead probe verdict take the
+          link down; combine with [loss_aware_routing] to route on the
+          probe-derived expected latency (latency × 1/(1-p)², §IV).
+          Requires [probe]; default off *)
 }
 
 val default_config : config

@@ -1,0 +1,104 @@
+open Strovl_sim
+module Health = Strovl_obs.Health
+
+type config = {
+  period : Time.t;
+  k_missed : int;
+  loss_window : int;
+}
+
+let default_config = { period = Time.ms 50; k_missed = 3; loss_window = 50 }
+
+(* One prober per overlay-link endpoint. Probes are tiny timestamped
+   round trips on their own period (independent of the hello protocol's);
+   the responder side is stateless and lives in the node's receive
+   dispatch, so a probing node can measure a peer that does not probe.
+   Results land in the process-wide Strovl_obs.Health registry; the node
+   optionally bridges them into connectivity-graph advertisement via the
+   [on_update]/[on_verdict] callbacks. *)
+type t = {
+  ctx : Lproto.ctx;
+  cfg : config;
+  health : Health.t;
+  mutable pseq : int;
+  mutable acks_since_tick : int;
+  mutable missed : int; (* consecutive probe periods with no ack *)
+  mutable window_sent : int;
+  mutable window_acked : int;
+  mutable on_update : Health.t -> unit;
+  mutable on_verdict : alive:bool -> unit;
+  mutable started : bool;
+}
+
+let create ?(config = default_config) ctx =
+  if config.period < 1 then invalid_arg "Probe_link: period must be positive";
+  if config.k_missed < 1 then invalid_arg "Probe_link: k_missed must be >= 1";
+  if config.loss_window < 1 then
+    invalid_arg "Probe_link: loss_window must be >= 1";
+  {
+    ctx;
+    cfg = config;
+    health = Health.fresh ~node:ctx.Lproto.node ~link:ctx.Lproto.link;
+    pseq = 0;
+    acks_since_tick = 0;
+    missed = 0;
+    window_sent = 0;
+    window_acked = 0;
+    on_update = (fun _ -> ());
+    on_verdict = (fun ~alive:_ -> ());
+    started = false;
+  }
+
+let health t = t.health
+let set_on_update t f = t.on_update <- f
+let set_on_verdict t f = t.on_verdict <- f
+
+let verdict t alive =
+  if t.health.Health.alive <> alive then begin
+    Health.set_alive t.health alive;
+    Lproto.trace t.ctx
+      (Strovl_obs.Trace.Probe_verdict (t.ctx.Lproto.link, alive));
+    t.on_verdict ~alive
+  end
+
+let handle_ack t ~pseq:_ ~echo =
+  t.acks_since_tick <- t.acks_since_tick + 1;
+  t.missed <- 0;
+  t.window_acked <- t.window_acked + 1;
+  Health.note_acked t.health;
+  let sample = Time.sub (Engine.now t.ctx.Lproto.engine) echo in
+  if sample >= 0 then Health.observe_rtt t.health sample;
+  verdict t true;
+  t.on_update t.health
+
+let fold_window t =
+  Health.fold_loss t.health ~sent:t.window_sent ~acked:t.window_acked;
+  t.window_sent <- 0;
+  t.window_acked <- 0;
+  t.on_update t.health
+
+let tick t () =
+  (* Account the last period first: a period with no ack at all is one
+     missed probe; k in a row flips the liveness verdict. *)
+  if t.pseq > 0 && t.acks_since_tick = 0 then begin
+    t.missed <- t.missed + 1;
+    if t.missed >= t.cfg.k_missed then verdict t false
+  end;
+  t.acks_since_tick <- 0;
+  t.pseq <- t.pseq + 1;
+  t.window_sent <- t.window_sent + 1;
+  Health.note_sent t.health;
+  if t.window_sent >= t.cfg.loss_window then fold_window t;
+  Lproto.trace t.ctx (Strovl_obs.Trace.Probe t.ctx.Lproto.link);
+  t.ctx.Lproto.xmit
+    (Msg.Probe { pseq = t.pseq; sent_at = Engine.now t.ctx.Lproto.engine })
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    let rec loop () =
+      tick t ();
+      ignore (Engine.schedule t.ctx.Lproto.engine ~delay:t.cfg.period loop)
+    in
+    loop ()
+  end

@@ -1,0 +1,45 @@
+(** Link health probing: tiny timestamped round trips on a configurable
+    period, per overlay-link endpoint, feeding [Strovl_obs.Health] with
+    EWMA-smoothed RTT, jitter and loss plus a k-missed-probes liveness
+    verdict.
+
+    Unlike the hello protocol (which the connectivity graph depends on for
+    liveness), probing is purely observational by default: results live in
+    the Health registry and the trace. The node can opt in to routing on
+    them ([Node.config.probe_routing]) by bridging [on_update] /
+    [on_verdict] into connectivity-graph advertisement. The responder side
+    is stateless ([Msg.Probe] is echoed as [Msg.Probe_ack] by the node's
+    receive dispatch), so a probing node can measure a peer that does not
+    itself probe. *)
+
+type config = {
+  period : Strovl_sim.Time.t;  (** probe interval (default 50ms) *)
+  k_missed : int;
+      (** consecutive ack-less periods before the link is judged dead
+          (default 3) *)
+  loss_window : int;
+      (** probes per loss-estimate fold into the EWMA (default 50) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Lproto.ctx -> t
+(** One prober for the endpoint described by the context. Replaces any
+    stale [Health] entry for (node, link) from a previous run. *)
+
+val start : t -> unit
+(** Begins the periodic probe loop (idempotent). *)
+
+val handle_ack : t -> pseq:int -> echo:Strovl_sim.Time.t -> unit
+(** Feeds a received [Msg.Probe_ack]: RTT sample from [echo], liveness,
+    loss accounting. *)
+
+val health : t -> Strovl_obs.Health.t
+
+val set_on_update : t -> (Strovl_obs.Health.t -> unit) -> unit
+(** Called after every RTT sample and loss fold. *)
+
+val set_on_verdict : t -> (alive:bool -> unit) -> unit
+(** Called when the k-missed-probes liveness verdict flips. *)

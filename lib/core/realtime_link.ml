@@ -152,7 +152,7 @@ let request_missing t lseq =
           (fun () ->
             t.n_requests_sent <- t.n_requests_sent + 1;
             Strovl_obs.Metrics.Counter.incr m_requests;
-            Lproto.trace t.ctx (Strovl_obs.Trace.Nack (t.ctx.Lproto.link, lseq));
+            Lproto.trace t.ctx (Strovl_obs.Trace.Strike (t.ctx.Lproto.link, lseq));
             t.ctx.Lproto.xmit (Msg.Rt_request { lseq }))
       in
       timers := h :: !timers
@@ -201,7 +201,8 @@ let recv t = function
   | Msg.Data { lseq; pkt; _ } -> handle_data t lseq pkt
   | Msg.Rt_request { lseq } -> handle_request t lseq
   | Msg.Link_ack _ | Msg.Link_nack _ | Msg.It_ack _ | Msg.Fec_parity _
-  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Probe _ | Msg.Probe_ack _
+  | Msg.Lsu _ | Msg.Group_update _ ->
     ()
 
 let sent t = t.n_sent

@@ -66,6 +66,16 @@ let m_nacks =
     ~labels:[ ("proto", "reliable") ]
     "strovl_link_nacks_total"
 
+let note_retrans t pkt =
+  t.n_retrans <- t.n_retrans + 1;
+  Strovl_obs.Metrics.Counter.incr m_retrans;
+  if !Strovl_obs.Series.on then
+    Strovl_obs.Series.incr
+      (Strovl_obs.Series.channel
+         ~labels:[ ("link", string_of_int t.ctx.Lproto.link) ]
+         "strovl_link_retransmits");
+  Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link)
+
 let create ?(config = default_config) ctx =
   {
     ctx;
@@ -101,9 +111,7 @@ let rec arm_rto t =
              (* Tail-loss probe: retransmit the oldest unacked packet. *)
              (match IntMap.min_binding_opt t.store with
              | Some (lseq, (pkt, auth)) ->
-               t.n_retrans <- t.n_retrans + 1;
-               Strovl_obs.Metrics.Counter.incr m_retrans;
-               Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
+               note_retrans t pkt;
                xmit_data t lseq pkt auth
              | None -> ());
              arm_rto t))
@@ -128,9 +136,7 @@ let handle_nack t missing =
     (fun lseq ->
       match IntMap.find_opt lseq t.store with
       | Some (pkt, auth) ->
-        t.n_retrans <- t.n_retrans + 1;
-        Strovl_obs.Metrics.Counter.incr m_retrans;
-        Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
+        note_retrans t pkt;
         xmit_data t lseq pkt auth
       | None -> () (* already acked: the nack crossed a retransmission *))
     missing;
@@ -236,7 +242,8 @@ let recv t = function
   | Msg.Link_ack { cum; _ } -> handle_ack t cum
   | Msg.Link_nack { missing; _ } -> handle_nack t missing
   | Msg.Rt_request _ | Msg.It_ack _ | Msg.Fec_parity _ | Msg.Hello _
-  | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+  | Msg.Hello_ack _ | Msg.Probe _ | Msg.Probe_ack _ | Msg.Lsu _
+  | Msg.Group_update _ ->
     ()
 
 let drain_store t =

@@ -110,6 +110,14 @@ let encode msg =
     put_u8 b 7;
     put_u32 b hseq;
     put_i64 b echo
+  | Msg.Probe { pseq; sent_at } ->
+    put_u8 b 11;
+    put_u32 b pseq;
+    put_i64 b sent_at
+  | Msg.Probe_ack { pseq; echo } ->
+    put_u8 b 12;
+    put_u32 b pseq;
+    put_i64 b echo
   | Msg.Lsu { origin; lsu_seq; links; auth } ->
     put_u8 b 8;
     put_u16 b origin;
@@ -341,6 +349,14 @@ let decode_exn c =
       let n = get_u8 c in
       let blk_pkts = List.init n (fun _ -> get_packet c) in
       Msg.Fec_parity { block; idx; k; bytes; blk_pkts }
+    | 11 ->
+      let pseq = get_u32 c in
+      let sent_at = get_time c in
+      Msg.Probe { pseq; sent_at }
+    | 12 ->
+      let pseq = get_u32 c in
+      let echo = get_time c in
+      Msg.Probe_ack { pseq; echo }
     | t -> raise (Bad (Printf.sprintf "unknown message tag %d" t))
   in
   if c.pos <> String.length c.data then raise (Bad "trailing bytes");
@@ -355,7 +371,8 @@ let payload_bytes = function
   | Msg.Data { pkt; _ } -> pkt.Packet.bytes
   | Msg.Fec_parity { bytes; _ } -> bytes
   | Msg.Link_ack _ | Msg.Link_nack _ | Msg.Rt_request _ | Msg.It_ack _
-  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Lsu _ | Msg.Group_update _ ->
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Probe _ | Msg.Probe_ack _
+  | Msg.Lsu _ | Msg.Group_update _ ->
     0
 
 let size msg = String.length (encode msg) + payload_bytes msg

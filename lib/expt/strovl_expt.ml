@@ -100,3 +100,10 @@ let all : experiment list =
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
+
+(* One line per experiment, shared by every CLI's `list` subcommand so the
+   catalogue renders identically everywhere. *)
+let list_lines () =
+  List.map (fun e -> Printf.sprintf "%-18s %s" e.id e.summary) all
+
+let print_list () = List.iter print_endline (list_lines ())

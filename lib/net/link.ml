@@ -26,6 +26,10 @@ type t = {
   m_tx_bytes : Strovl_obs.Metrics.Counter.t;
   m_qdrops : Strovl_obs.Metrics.Counter.t;
   m_backlog : Strovl_obs.Metrics.Histogram.t;
+  (* Time-series twins (Strovl_obs.Series; off by default). *)
+  s_tx : Strovl_obs.Series.ch;
+  s_backlog : Strovl_obs.Series.ch;
+  s_qdrops : Strovl_obs.Series.ch;
 }
 
 let create ?(config = default_config) underlay ~a ~b ~isp =
@@ -45,6 +49,9 @@ let create ?(config = default_config) underlay ~a ~b ~isp =
     m_tx_bytes = Strovl_obs.Metrics.counter ~labels "strovl_link_tx_bytes_total";
     m_qdrops = Strovl_obs.Metrics.counter ~labels "strovl_link_queue_drops_total";
     m_backlog = Strovl_obs.Metrics.histogram ~labels "strovl_link_backlog_us";
+    s_tx = Strovl_obs.Series.channel ~labels "strovl_link_tx_packets";
+    s_backlog = Strovl_obs.Series.channel ~labels "strovl_link_backlog_us";
+    s_qdrops = Strovl_obs.Series.channel ~labels "strovl_link_queue_drops";
   }
 
 let a t = t.ea
@@ -106,6 +113,7 @@ let send t ~src ~bytes ~deliver =
   if Time.sub departure now > t.cfg.queue_cap then begin
     h.drops <- h.drops + 1;
     Strovl_obs.Metrics.Counter.incr t.m_qdrops;
+    if !Strovl_obs.Series.on then Strovl_obs.Series.incr t.s_qdrops;
     if !Strovl_obs.Trace.on then
       Strovl_obs.Trace.emit ~node:src
         (Strovl_obs.Trace.Drop Strovl_obs.Trace.Queue_full)
@@ -116,6 +124,10 @@ let send t ~src ~bytes ~deliver =
     Strovl_obs.Metrics.Counter.incr t.m_tx_pkts;
     Strovl_obs.Metrics.Counter.add t.m_tx_bytes (bytes + t.cfg.overhead_bytes);
     Strovl_obs.Metrics.Histogram.observe t.m_backlog (Time.sub start now);
+    if !Strovl_obs.Series.on then begin
+      Strovl_obs.Series.incr t.s_tx;
+      Strovl_obs.Series.add t.s_backlog (Time.sub start now)
+    end;
     let dst = other t src in
     (* Direction determines which provider is the source side. *)
     let isp_src, isp_dst =

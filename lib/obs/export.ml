@@ -41,6 +41,20 @@ let event_fields ev =
   | Trace.Deliver -> [ ("ev", json_str "deliver") ]
   | Trace.Fec_recover l ->
     [ ("ev", json_str "fec_recover"); ("link", string_of_int l) ]
+  | Trace.Probe l -> [ ("ev", json_str "probe"); ("link", string_of_int l) ]
+  | Trace.Probe_verdict (l, alive) ->
+    [
+      ("ev", json_str "probe_verdict");
+      ("link", string_of_int l);
+      ("alive", if alive then "true" else "false");
+    ]
+  | Trace.Lsu_apply origin ->
+    [ ("ev", json_str "lsu_apply"); ("origin", string_of_int origin) ]
+  | Trace.Forward_replay l ->
+    [ ("ev", json_str "forward_replay"); ("link", string_of_int l) ]
+  | Trace.Deliver_replay -> [ ("ev", json_str "deliver_replay") ]
+  | Trace.Strike (l, n) ->
+    [ ("ev", json_str "strike"); ("link", string_of_int l); ("lseq", string_of_int n) ]
 
 let record_json (r : Trace.record) =
   let fields =
@@ -161,10 +175,10 @@ let flow_summaries () =
         | Trace.Enqueue ->
           incr enq;
           note_hop ()
-        | Trace.Forward _ ->
+        | Trace.Forward _ | Trace.Forward_replay _ ->
           incr fwd;
           note_hop ()
-        | Trace.Deliver ->
+        | Trace.Deliver | Trace.Deliver_replay ->
           incr dlv;
           note_hop ()
         | Trace.Retransmit _ -> incr rtx

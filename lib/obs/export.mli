@@ -3,6 +3,10 @@
     drop reasons, per-link utilization, per-flow hop-latency breakdown)
     for humans. *)
 
+val json_str : string -> string
+(** Escapes and double-quotes a string for inclusion in hand-rolled JSON
+    (shared with {!Series}; the container has no JSON library). *)
+
 val record_json : Trace.record -> string
 (** One trace record as a single-line JSON object. *)
 

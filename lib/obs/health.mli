@@ -1,0 +1,56 @@
+(** Per-(node, link) link-health estimates: EWMA-smoothed RTT, jitter and
+    per-direction loss, plus a liveness verdict, maintained by the probe
+    link protocol ([Strovl.Probe_link]) and read by monitoring tools and —
+    behind an off-by-default flag — by connectivity-graph cost
+    advertisement. The registry is process-wide, like {!Metrics}. *)
+
+type t = {
+  h_node : int;  (** observing endpoint *)
+  h_link : int;  (** overlay link id *)
+  mutable rtt_us : int;  (** EWMA round-trip time (gain 1/8); 0 = no sample *)
+  mutable jitter_us : int;  (** EWMA of |RTT deviation| (gain 1/4) *)
+  mutable loss_pm : int;  (** per-direction loss estimate, permille *)
+  mutable alive : bool;  (** k-missed-probes liveness verdict *)
+  mutable sent : int;  (** probes sent *)
+  mutable acked : int;  (** probe acks received *)
+  mutable rtt_samples : int;
+  mutable loss_folds : int;
+  s_rtt : Series.ch;  (** [strovl_health_rtt_us{link,node}] *)
+  s_loss : Series.ch;  (** [strovl_health_loss_pm{link,node}] *)
+}
+
+val get : node:int -> link:int -> t
+(** Finds or creates the entry for one side of one overlay link. *)
+
+val fresh : node:int -> link:int -> t
+(** Like [get] but discards any stale entry first — probe protocol
+    instances use this so a new run does not inherit a previous run's
+    EWMAs (the registry is process-wide). *)
+
+val find : node:int -> link:int -> t option
+val all : unit -> t list
+(** Every entry, sorted by (link, node). *)
+
+val reset : unit -> unit
+(** Forgets every entry (between runs / for test isolation). *)
+
+val note_sent : t -> unit
+val note_acked : t -> unit
+
+val observe_rtt : t -> int -> unit
+(** Folds one round-trip sample (µs) into the RTT/jitter EWMAs and the
+    [strovl_health_rtt_us] series. *)
+
+val fold_loss : t -> sent:int -> acked:int -> unit
+(** Folds one probe window: [acked]/[sent] estimates round-trip survival
+    (1-p)², so the per-direction sample is 1 - sqrt(acked/sent), smoothed
+    with gain 1/2 into [loss_pm]. *)
+
+val set_alive : t -> bool -> unit
+
+val expected_latency_us : t -> int
+(** One-way latency × retry expansion 1/(1-p)² (§IV): the routing cost a
+    probe-driven connectivity graph would advertise for this link. *)
+
+val json : t -> string
+(** The entry as one flat JSON object. *)

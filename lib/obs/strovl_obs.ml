@@ -8,3 +8,6 @@
 module Metrics = Metrics
 module Trace = Trace
 module Export = Export
+module Series = Series
+module Health = Health
+module Audit = Audit

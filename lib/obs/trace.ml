@@ -23,6 +23,12 @@ type event =
   | Lsu_flood
   | Deliver
   | Fec_recover of int
+  | Probe of int
+  | Probe_verdict of int * bool
+  | Lsu_apply of int
+  | Forward_replay of int
+  | Deliver_replay
+  | Strike of int * int
 
 type record = { ts : int; node : int; flow : flow_id; seq : int; ev : event }
 
@@ -38,8 +44,12 @@ type ring = {
 let on = ref false
 let ring : ring option ref = ref None
 let clock = ref (fun () -> 0)
+let sink : (record -> unit) option ref = ref None
 
 let set_clock f = clock := f
+let now () = !clock ()
+let set_sink f = sink := Some f
+let clear_sink () = sink := None
 
 let enable ?(capacity = 1 lsl 18) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
@@ -63,10 +73,12 @@ let emit ?(flow = no_flow) ?(seq = -1) ~node ev =
   | None -> ()
   | Some r ->
     let cap = Array.length r.buf in
-    r.buf.(r.next) <- { ts = !clock (); node; flow; seq; ev };
+    let rc = { ts = !clock (); node; flow; seq; ev } in
+    r.buf.(r.next) <- rc;
     r.next <- (r.next + 1) mod cap;
     if r.filled < cap then r.filled <- r.filled + 1;
-    r.emitted <- r.emitted + 1
+    r.emitted <- r.emitted + 1;
+    (match !sink with None -> () | Some f -> f rc)
 
 let length () = match !ring with None -> 0 | Some r -> r.filled
 let total () = match !ring with None -> 0 | Some r -> r.emitted
@@ -115,6 +127,12 @@ let event_codes = function
   | Lsu_flood -> (6, 0, 0)
   | Deliver -> (7, 0, 0)
   | Fec_recover l -> (8, l, 0)
+  | Probe l -> (9, l, 0)
+  | Probe_verdict (l, alive) -> (10, l, if alive then 1 else 0)
+  | Lsu_apply origin -> (11, origin, 0)
+  | Forward_replay l -> (12, l, 0)
+  | Deliver_replay -> (13, 0, 0)
+  | Strike (l, n) -> (14, l, n)
 
 let digest () =
   let h = ref (mix fnv_offset (total ())) in
@@ -152,6 +170,13 @@ let event_to_string = function
   | Lsu_flood -> "lsu-flood"
   | Deliver -> "deliver"
   | Fec_recover l -> Printf.sprintf "fec-recover(link %d)" l
+  | Probe l -> Printf.sprintf "probe(link %d)" l
+  | Probe_verdict (l, alive) ->
+    Printf.sprintf "probe-verdict(link %d %s)" l (if alive then "alive" else "dead")
+  | Lsu_apply origin -> Printf.sprintf "lsu-apply(origin %d)" origin
+  | Forward_replay l -> Printf.sprintf "forward-replay(link %d)" l
+  | Deliver_replay -> "deliver-replay"
+  | Strike (l, n) -> Printf.sprintf "strike(link %d, lseq %d)" l n
 
 let pp_record ppf r =
   if r.flow == no_flow || r.flow.fi_src < 0 then

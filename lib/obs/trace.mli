@@ -41,6 +41,22 @@ type event =
   | Lsu_flood
   | Deliver  (** handed to a local session *)
   | Fec_recover of int  (** reconstructed from parity on link [l] *)
+  | Probe of int  (** health probe sent on link [l] *)
+  | Probe_verdict of int * bool
+      (** k-missed-probes liveness verdict for link [l] flipped to
+          alive/dead *)
+  | Lsu_apply of int
+      (** accepted a fresher link-state update originated by node
+          [origin] *)
+  | Forward_replay of int
+      (** re-forward of a stranded packet after a reroute (link [l]);
+          distinct from [Forward] so duplicate-suppression invariants can
+          exempt legitimate replays *)
+  | Deliver_replay  (** delivery of a replayed packet (post-reroute copy) *)
+  | Strike of int * int
+      (** NM-Strikes recovery request on link [l] for lseq [n]; unlike
+          [Nack], a strike is semi-reliable and may legitimately go
+          unanswered once its deadline budget lapses *)
 
 type record = {
   ts : int;  (** sim-time (µs) at which the event was recorded *)
@@ -57,6 +73,20 @@ val on : bool ref
 val set_clock : (unit -> int) -> unit
 (** Installed by the simulation engine: how [emit] reads the current
     sim-time. *)
+
+val now : unit -> int
+(** Current sim-time as the recorder sees it (whatever [set_clock]
+    installed; 0 before any engine exists). Lets other observability
+    layers ([Series], [Audit]) bucket by the same clock. *)
+
+val set_sink : (record -> unit) -> unit
+(** Installs a streaming consumer: every record written to the ring is
+    also passed to the sink, synchronously, in emission order. One sink at
+    a time (a new [set_sink] replaces the previous one). The sink only
+    sees events while the recorder is armed. *)
+
+val clear_sink : unit -> unit
+(** Removes the streaming consumer. *)
 
 val enable : ?capacity:int -> unit -> unit
 (** Arms the recorder with a fresh ring (default capacity 2^18 events). *)

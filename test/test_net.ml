@@ -186,6 +186,75 @@ let link_direction_independence () =
   Engine.run engine;
   check_bool "reverse direction unqueued" true (!back < Time.ms 12)
 
+(* Probe link protocol: the health EWMAs converge to the configured
+   underlay latency / injected loss, and the k-missed-probes liveness
+   verdict flips when the link fails. *)
+
+module Health = Strovl_obs.Health
+module Common = Strovl_expt.Common
+
+let probing_sim ?(loss = 0.) ?(probe = Strovl.Probe_link.default_config)
+    ~seed () =
+  Health.reset ();
+  let config =
+    {
+      Strovl.Net.default_config with
+      Strovl.Net.node =
+        { Strovl.Node.default_config with Strovl.Node.probe = Some probe };
+    }
+  in
+  let sim =
+    Common.build ~config ~seed (Gen.chain ~n:3 ~hop_delay:(Time.ms 10))
+  in
+  if loss > 0. then Common.bernoulli_loss sim ~p:loss;
+  sim
+
+let probe_health_convergence () =
+  (* k_missed raised: at 20% loss a 3-probe miss-run happens every few
+     hundred windows, legitimately (and transiently) flipping the verdict;
+     this test is about the estimators, not liveness. *)
+  let probe =
+    { Strovl.Probe_link.default_config with Strovl.Probe_link.k_missed = 10 }
+  in
+  let sim = probing_sim ~loss:0.2 ~probe ~seed:1234L () in
+  Common.run_for sim (Time.sec 30);
+  let entries = Health.all () in
+  check_int "both ends of both chain links" 4 (List.length entries);
+  List.iter
+    (fun h ->
+      (* One underlay hop of 10ms each way: RTT within 5% of 20ms. *)
+      check_bool
+        (Printf.sprintf "rtt %dus within 5%% of 20ms" h.Health.rtt_us)
+        true
+        (abs (h.Health.rtt_us - 20_000) <= 1_000);
+      (* Injected per-traversal loss 0.2 = 200 permille per direction;
+         the estimator must land within 5 points. *)
+      check_bool
+        (Printf.sprintf "loss %dpm within 50pm of 200" h.Health.loss_pm)
+        true
+        (abs (h.Health.loss_pm - 200) <= 50);
+      check_bool "alive" true h.Health.alive;
+      check_bool "kept probing" true (h.Health.sent > 500))
+    entries
+
+let probe_verdict_flips_on_failure () =
+  let sim = probing_sim ~seed:7L () in
+  Common.run_for sim (Time.sec 5);
+  List.iter
+    (fun h -> check_bool "alive before failure" true h.Health.alive)
+    (Health.all ());
+  Common.fail_link_everywhere sim ~link:0;
+  (* k_missed = 3 at 50ms period: one second is ample for the verdict. *)
+  Common.run_for sim (Time.sec 1);
+  List.iter
+    (fun h ->
+      check_bool
+        (Printf.sprintf "link %d node %d verdict" h.Health.h_link
+           h.Health.h_node)
+        (h.Health.h_link <> 0)
+        h.Health.alive)
+    (Health.all ())
+
 let () =
   Alcotest.run "strovl_net"
     [
@@ -208,5 +277,10 @@ let () =
           Alcotest.test_case "off-net pair" `Quick link_offnet_pair;
           Alcotest.test_case "peering sites" `Quick underlay_peering_sites;
           Alcotest.test_case "direction independence" `Quick link_direction_independence;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "health converges" `Quick probe_health_convergence;
+          Alcotest.test_case "k-missed verdict" `Quick probe_verdict_flips_on_failure;
         ] );
     ]

@@ -115,6 +115,213 @@ let export_path_and_drops () =
     (String.length json > 0 && json.[0] = '{');
   T.disable ()
 
+(* ------------- Export summary goldens on a hand-built trace ------------ *)
+
+module S = Strovl_obs.Series
+module A = Strovl_obs.Audit
+
+let clock = ref 0
+
+let set_manual_clock () =
+  clock := 0;
+  T.set_clock (fun () -> !clock)
+
+(* Two packets crossing a two-hop path 1 -> 2 -> 3 (links 0, 1), each hop
+   5 ms; plus assorted drops, one retransmission, and per-link counters as
+   Link.create would register them. Every summary is checked against the
+   exact values this little world implies. *)
+let export_golden_summaries () =
+  M.reset ();
+  T.enable ~capacity:256 ();
+  set_manual_clock ();
+  let gflow = { T.fi_src = 1; fi_sport = 10; fi_dst = 3; fi_dport = 20 } in
+  let pkt seq t0 =
+    clock := t0;
+    T.emit ~flow:gflow ~seq ~node:1 T.Enqueue;
+    T.emit ~flow:gflow ~seq ~node:1 (T.Forward 0);
+    clock := t0 + 5000;
+    T.emit ~flow:gflow ~seq ~node:2 (T.Forward 1);
+    clock := t0 + 10000;
+    T.emit ~flow:gflow ~seq ~node:3 T.Deliver
+  in
+  pkt 0 1000;
+  pkt 1 2000;
+  clock := 13_000;
+  T.emit ~flow:gflow ~seq:2 ~node:2 (T.Drop T.Queue_full);
+  T.emit ~flow:gflow ~seq:3 ~node:2 (T.Drop T.Queue_full);
+  T.emit ~flow:gflow ~seq:4 ~node:1 (T.Drop T.Auth);
+  T.emit ~flow:gflow ~seq:1 ~node:1 (T.Retransmit 0);
+  (* drop-reason golden: most frequent first *)
+  (match E.drop_counts () with
+  | [ ("queue-full", 2); ("auth", 1) ] -> ()
+  | other ->
+    Alcotest.failf "drop_counts: %s"
+      (String.concat ";"
+         (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) other)));
+  (* per-flow golden: 2 enqueued, 4 forwards, 2 delivered, 1 retransmit;
+     per-packet hop deltas are 0 (enqueue->first forward), 5000, 5000 *)
+  (match E.flow_summaries () with
+  | [ (f, (enq, fwd, dlv, rtx, mean_hop)) ] ->
+    check_bool "flow id" true (f = gflow);
+    check_int "enqueued" 2 enq;
+    check_int "forwards" 4 fwd;
+    check_int "delivered" 2 dlv;
+    check_int "retransmits" 1 rtx;
+    Alcotest.(check (float 0.01)) "mean hop us" (20_000. /. 6.) mean_hop
+  | l -> Alcotest.failf "expected one flow, got %d" (List.length l));
+  (* per-link utilization golden, from the metrics registry *)
+  let reg name link v =
+    M.Counter.add (M.counter ~labels:[ ("link", link) ] name) v
+  in
+  reg "strovl_link_tx_packets_total" "1-2" 6;
+  reg "strovl_link_tx_bytes_total" "1-2" 2640;
+  reg "strovl_link_queue_drops_total" "1-2" 2;
+  reg "strovl_link_tx_packets_total" "2-3" 2;
+  reg "strovl_link_tx_bytes_total" "2-3" 880;
+  (match E.links_table () with
+  | [ ("1-2", 6, 2640, 2); ("2-3", 2, 880, 0) ] -> ()
+  | other ->
+    Alcotest.failf "links_table: %s"
+      (String.concat ";"
+         (List.map
+            (fun (l, p, b, d) -> Printf.sprintf "%s:%d:%d:%d" l p b d)
+            other)));
+  T.disable ()
+
+(* ------------------------- Series bucketing -------------------------- *)
+
+let series_bucketing () =
+  S.reset ();
+  set_manual_clock ();
+  S.enable ~window:1000 ~capacity:4 ();
+  let ch = S.channel ~labels:[ ("k", "v") ] "obs_test_series" in
+  (* same channel identity regardless of label order *)
+  check_bool "identity" true (ch == S.channel ~labels:[ ("k", "v") ] "obs_test_series");
+  clock := 100;
+  S.add ch 5;
+  S.add ch 7;
+  clock := 1100;
+  S.add ch 1;
+  clock := 6500;
+  S.incr ch;
+  (match S.points ch with
+  | [ p0; p1; p2 ] ->
+    check_int "bucket 0 aligned" 0 p0.S.p_t0;
+    check_int "bucket 0 n" 2 p0.S.p_n;
+    check_int "bucket 0 sum" 12 p0.S.p_sum;
+    check_int "bucket 0 max" 7 p0.S.p_max;
+    check_int "bucket 1 aligned" 1000 p1.S.p_t0;
+    check_int "open bucket aligned" 6000 p2.S.p_t0;
+    Alcotest.(check (float 0.001)) "mean" 6. (S.mean p0)
+  | l -> Alcotest.failf "expected 3 points, got %d" (List.length l));
+  (* ring bound: many buckets, only [capacity] closed ones retained *)
+  for i = 10 to 30 do
+    clock := i * 1000;
+    S.add ch i
+  done;
+  check_bool "bounded" true (List.length (S.points ch) <= 5);
+  (* off = no-op *)
+  S.disable ();
+  let before = List.length (S.points ch) in
+  S.add ch 99;
+  check_int "disabled is no-op" before (List.length (S.points ch));
+  let json = S.point_json ch (List.hd (S.points ch)) in
+  check_bool "point json shape" true
+    (String.length json > 0 && json.[0] = '{');
+  S.reset ()
+
+(* ---------------------- Audit: clean and broken ----------------------- *)
+
+let mk ?(flow = T.no_flow) ?(seq = -1) ts node ev =
+  { T.ts; node; flow; seq; ev }
+
+let audit_clean_stream () =
+  T.enable ~capacity:256 ();
+  set_manual_clock ();
+  A.arm ();
+  let f = { T.fi_src = 0; fi_sport = 1; fi_dst = 2; fi_dport = 2 } in
+  (* a normal packet life, a recovered gap, and an overlay-wide reroute *)
+  A.feed (mk ~flow:f ~seq:0 1000 0 T.Enqueue);
+  A.feed (mk ~flow:f ~seq:0 1000 0 (T.Forward 0));
+  A.feed (mk ~flow:f ~seq:0 6000 1 (T.Forward 1));
+  A.feed (mk ~flow:f ~seq:0 11_000 2 T.Deliver);
+  A.feed (mk ~seq:7 20_000 1 (T.Nack (0, 7)));
+  A.feed (mk ~flow:f ~seq:1 30_000 0 (T.Retransmit 0));
+  A.feed (mk 40_000 0 (T.Reroute (3, false)));
+  A.feed (mk 45_000 1 (T.Lsu_apply 0));
+  A.feed (mk 50_000 2 (T.Lsu_apply 0));
+  A.feed (mk 60_000 0 (T.Reroute (3, true)));
+  let vs = A.finish () in
+  A.disarm ();
+  T.disable ();
+  List.iter (fun v -> Format.eprintf "%a@." A.pp_violation v) vs;
+  check_int "clean stream" 0 (List.length vs);
+  (match A.reroute_latencies () with
+  | [ lat ] -> check_int "reroute latency" 10_000 lat
+  | l -> Alcotest.failf "expected one reroute latency, got %d" (List.length l))
+
+(* A deliberately broken protocol variant: duplicates a delivery, loops a
+   forward, ghost-recovers via FEC, ignores a nack, and loses a link-down
+   flood — the auditor must flag all five rules. *)
+let audit_broken_variant () =
+  T.enable ~capacity:256 ();
+  set_manual_clock ();
+  A.arm ();
+  let f = { T.fi_src = 0; fi_sport = 1; fi_dst = 3; fi_dport = 2 } in
+  (* dup-deliver: same (flow, seq) handed to sessions twice *)
+  A.feed (mk ~flow:f ~seq:0 1000 3 T.Deliver);
+  A.feed (mk ~flow:f ~seq:0 2000 3 T.Deliver);
+  (* fwd-loop: the packet comes back to node 1 and leaves on link 0 again *)
+  A.feed (mk ~flow:f ~seq:1 3000 1 (T.Forward 0));
+  A.feed (mk ~flow:f ~seq:1 9000 1 (T.Forward 0));
+  (* fec-ghost: node 2 already forwarded seq 2, then "recovers" it *)
+  A.feed (mk ~flow:f ~seq:2 4000 2 (T.Forward 1));
+  A.feed (mk ~flow:f ~seq:2 8000 2 (T.Fec_recover 1));
+  (* recovery-budget: a nack on link 5 never answered (and no retransmit
+     activity on that link at all) *)
+  A.feed (mk ~seq:9 10_000 2 (T.Nack (5, 9)));
+  (* reroute-budget: node 0 reports link 7 down; node 1 hears it but node 2
+     keeps applying other floods without ever applying node 0's *)
+  A.feed (mk 11_000 0 (T.Reroute (7, false)));
+  A.feed (mk 12_000 1 (T.Lsu_apply 0));
+  A.feed (mk 13_000 2 (T.Lsu_apply 1));
+  A.feed (mk 14_000 2 (T.Lsu_apply 1));
+  (* let every budget lapse *)
+  A.feed (mk 5_000_000 0 T.Lsu_flood);
+  let vs = A.finish () in
+  let rules = A.distinct_rules () in
+  A.disarm ();
+  T.disable ();
+  check_int "five violations" 5 (List.length vs);
+  Alcotest.(check (list string))
+    "all five rules fire"
+    [ "dup-deliver"; "fec-ghost"; "fwd-loop"; "recovery-budget";
+      "reroute-budget" ]
+    rules;
+  check_bool "counter advanced" true
+    (M.find_counter "strovl_audit_violations_total" >= 5)
+
+(* Replays after a reroute are exempt from dup/loop rules; an epoch change
+   (sim-time regression = new run) clears packet identity. *)
+let audit_exemptions () =
+  T.enable ~capacity:256 ();
+  set_manual_clock ();
+  A.arm ();
+  let f = { T.fi_src = 0; fi_sport = 1; fi_dst = 3; fi_dport = 2 } in
+  A.feed (mk ~flow:f ~seq:0 1000 1 (T.Forward 0));
+  A.feed (mk ~flow:f ~seq:0 5000 3 T.Deliver);
+  (* replayed copy of the same packet: legal *)
+  A.feed (mk ~flow:f ~seq:0 6000 1 (T.Forward_replay 0));
+  A.feed (mk ~flow:f ~seq:0 9000 3 T.Deliver_replay);
+  (* new epoch: the same (flow, seq) delivered again must NOT flag *)
+  A.feed (mk ~flow:f ~seq:0 500 1 (T.Forward 0));
+  A.feed (mk ~flow:f ~seq:0 900 3 T.Deliver);
+  let vs = A.finish () in
+  A.disarm ();
+  T.disable ();
+  List.iter (fun v -> Format.eprintf "%a@." A.pp_violation v) vs;
+  check_int "no violations" 0 (List.length vs)
+
 let () =
   Alcotest.run "strovl_obs"
     [
@@ -131,5 +338,18 @@ let () =
           Alcotest.test_case "digest sensitivity" `Quick trace_digest_sensitivity;
         ] );
       ( "export",
-        [ Alcotest.test_case "path and drops" `Quick export_path_and_drops ] );
+        [
+          Alcotest.test_case "path and drops" `Quick export_path_and_drops;
+          Alcotest.test_case "summary goldens" `Quick export_golden_summaries;
+        ] );
+      ( "series",
+        [ Alcotest.test_case "bucketing and ring" `Quick series_bucketing ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean stream" `Quick audit_clean_stream;
+          Alcotest.test_case "broken variant flags all rules" `Quick
+            audit_broken_variant;
+          Alcotest.test_case "replay and epoch exemptions" `Quick
+            audit_exemptions;
+        ] );
     ]

@@ -233,6 +233,11 @@ let priority_semantics_under_congestion () =
    the overlay must end converged (all links back up in every node's
    view). *)
 let chaos_soak_reliable_exactly_once () =
+  (* The invariant auditor rides along for the whole soak: continuous link
+     churn is exactly where duplicate deliveries, loops or blown recovery
+     budgets would slip past the end-state assertions below. *)
+  Strovl_obs.Trace.enable ~capacity:(1 lsl 18) ();
+  Strovl_obs.Audit.arm ();
   let engine = Engine.create ~seed:404L () in
   let net = Strovl.Net.create engine (Gen.us_backbone ()) in
   Strovl.Net.start net;
@@ -269,7 +274,12 @@ let chaos_soak_reliable_exactly_once () =
     for l = 0 to Strovl_topo.Graph.link_count (Strovl.Net.graph net) - 1 do
       check_bool "link back up everywhere" true (Strovl.Conn_graph.usable conn l)
     done
-  done
+  done;
+  let vs = Strovl_obs.Audit.finish () in
+  Strovl_obs.Audit.disarm ();
+  Strovl_obs.Trace.disable ();
+  List.iter (fun v -> Format.eprintf "%a@." Strovl_obs.Audit.pp_violation v) vs;
+  check_int "auditor clean over the chaos soak" 0 (List.length vs)
 
 (* The flight recorder must be as deterministic as the simulation itself:
    the same seed over a chaos soak yields bit-identical event streams. A

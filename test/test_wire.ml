@@ -48,6 +48,8 @@ let control_roundtrips () =
       Msg.It_ack { lseq = 0 };
       Msg.Hello { hseq = 17; sent_at = 1_000_000 };
       Msg.Hello_ack { hseq = 17; echo = 999_900 };
+      Msg.Probe { pseq = 4242; sent_at = 123_456_789 };
+      Msg.Probe_ack { pseq = 4242; echo = 123_450_000 };
       Msg.Lsu
         {
           origin = 4;
@@ -223,6 +225,12 @@ let gen_msg =
         (let* hseq = int_bound 1_000_000 in
          let* sent_at = int_bound 1_000_000_000 in
          return (Msg.Hello { hseq; sent_at }));
+        (let* pseq = int_bound 1_000_000 in
+         let* sent_at = int_bound 1_000_000_000 in
+         return (Msg.Probe { pseq; sent_at }));
+        (let* pseq = int_bound 1_000_000 in
+         let* echo = int_bound 1_000_000_000 in
+         return (Msg.Probe_ack { pseq; echo }));
         (let* origin = int_bound 60000 in
          let* lsu_seq = int_bound 1_000_000 in
          let* links =
