@@ -9,7 +9,10 @@
    see DESIGN.md's experiment index), printed via strovl_expt.
 
    Usage: dune exec bench/main.exe            (full: a few minutes)
-          dune exec bench/main.exe -- --quick (reduced sweeps) *)
+          dune exec bench/main.exe -- --quick (reduced sweeps)
+          dune exec bench/main.exe -- --json FILE
+                      (also dump the microbench estimates as JSON, same
+                       schema family as bench/throughput.exe's BENCH.json) *)
 
 open Bechamel
 open Toolkit
@@ -129,6 +132,7 @@ let run_microbenches () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
@@ -136,21 +140,45 @@ let run_microbenches () =
       Hashtbl.iter
         (fun name est ->
           match Analyze.OLS.estimates est with
-          | Some (ns :: _) -> Printf.printf "%-28s %12.1f ns/op\n" name ns
+          | Some (ns :: _) ->
+            Printf.printf "%-28s %12.1f ns/op\n" name ns;
+            estimates := (name, ns) :: !estimates
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         analyzed)
     microbenches;
   print_endline
     "  note: paper SII-D claims <1ms per intermediate overlay node: the \
      whole 4-hop forward path above must be well under 4,000,000 ns";
-  print_newline ()
+  print_newline ();
+  List.rev !estimates
+
+let write_json path estimates =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"strovl-bench-v1\",\n  \"microbench\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": { \"ns_per_op\": %.1f }%s\n" name ns
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ----------------------------- experiments --------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv in
+  let json_path = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        json_path := Some Sys.argv.(i + 1))
+    Sys.argv;
   let seed = 7L in
-  run_microbenches ();
+  let estimates = run_microbenches () in
+  (match !json_path with
+  | None -> ()
+  | Some path -> write_json path estimates);
   if quick then print_endline "(quick mode: reduced packet counts and sweeps)";
   List.iter
     (fun (e : Strovl_expt.experiment) ->

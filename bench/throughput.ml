@@ -1,0 +1,247 @@
+(* Forwarding-plane macrobenchmark: packets forwarded per wall-clock second.
+
+   The paper's deployability argument (§II-D, §V-B) is about per-hop compute:
+   an intermediate overlay node must add well under 1 ms, and the per-packet
+   constant factor — not routing — is what caps how much traffic one daemon
+   can carry. This benchmark drives a mixed best-effort / reliable /
+   multicast load through two whole overlays (the 12-site US backbone and a
+   50-node generated topology) and reports how many forwarding operations
+   per real second the simulator sustains, plus the minor-GC words allocated
+   per forwarded packet (the allocation pressure the fast path imposes).
+
+   Virtual (simulated) time is free: wall time is spent exclusively on the
+   event engine and the forwarding plane, so packets-per-wall-second is a
+   direct measure of the per-hop constant factor.
+
+   Usage: dune exec bench/throughput.exe              (table on stdout)
+          dune exec bench/throughput.exe -- --json BENCH.json
+          dune exec bench/throughput.exe -- --quick   (shorter runs) *)
+
+open Strovl_sim
+module Gen = Strovl_topo.Gen
+module P = Strovl.Packet
+
+type result = {
+  r_name : string;
+  r_wall_s : float;
+  r_forwarded : int;
+  r_delivered : int;
+  r_minor_words_per_fwd : float;
+  r_pkts_per_sec : float;
+}
+
+let total_forwarded net =
+  let acc = ref 0 in
+  for i = 0 to Strovl.Net.nnodes net - 1 do
+    acc := !acc + (Strovl.Node.counters (Strovl.Net.node net i)).Strovl.Node.forwarded
+  done;
+  !acc
+
+let total_delivered net =
+  let acc = ref 0 in
+  for i = 0 to Strovl.Net.nnodes net - 1 do
+    acc := !acc + (Strovl.Node.counters (Strovl.Net.node net i)).Strovl.Node.delivered
+  done;
+  !acc
+
+(* One scenario: build an overlay, attach the given flows, run [warmup_s]
+   virtual seconds untimed, then [run_s] timed virtual seconds. *)
+let run_scenario ~name ~spec ~flows ~quick () =
+  let engine = Engine.create ~seed:11L () in
+  let net = Strovl.Net.create engine spec in
+  Strovl.Net.start net;
+  Strovl.Net.settle net;
+  let sources = flows ~engine ~net in
+  let vsec s = Engine.run ~until:(Time.add (Engine.now engine) (Time.sec s)) engine in
+  vsec 1 (* warmup: routing tables, protocol instances, allocator highwater *);
+  let run_s = if quick then 4 else 16 in
+  let fwd0 = total_forwarded net and del0 = total_delivered net in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  vsec run_s;
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Gc.minor_words () -. minor0 in
+  List.iter Strovl_apps.Source.stop sources;
+  (* Drain in-flight work so the next scenario starts clean. *)
+  vsec 2;
+  let forwarded = total_forwarded net - fwd0 in
+  let delivered = total_delivered net - del0 in
+  {
+    r_name = name;
+    r_wall_s = wall;
+    r_forwarded = forwarded;
+    r_delivered = delivered;
+    r_minor_words_per_fwd =
+      (if forwarded = 0 then 0. else minor /. float_of_int forwarded);
+    r_pkts_per_sec =
+      (if wall <= 0. then 0. else float_of_int forwarded /. wall);
+  }
+
+(* Mixed load: two best-effort flows, one reliable flow, one multicast
+   group — every forwarding code path (unicast table lookup, reliable link
+   recovery machinery, shared-tree fan-out) exercised at once. *)
+let mixed_flows ~pairs ~rel_pair ~mcast_src ~mcast_members ~interval ~engine ~net =
+  let attach_rx node port =
+    let rx = Strovl.Client.attach (Strovl.Net.node net node) ~port in
+    Strovl.Client.set_receiver rx ignore;
+    rx
+  in
+  let srcs = ref [] in
+  List.iteri
+    (fun i (a, b) ->
+      ignore (attach_rx b (200 + i));
+      let tx = Strovl.Client.attach (Strovl.Net.node net a) ~port:(100 + i) in
+      let s = Strovl.Client.sender tx ~dest:(P.To_node b) ~dport:(200 + i) () in
+      srcs :=
+        Strovl_apps.Source.start ~engine ~sender:s ~interval ~bytes:1200 ()
+        :: !srcs)
+    pairs;
+  (let a, b = rel_pair in
+   ignore (attach_rx b 250);
+   let tx = Strovl.Client.attach (Strovl.Net.node net a) ~port:150 in
+   let s =
+     Strovl.Client.sender tx ~service:P.Reliable ~dest:(P.To_node b) ~dport:250 ()
+   in
+   srcs :=
+     Strovl_apps.Source.start ~engine ~sender:s ~interval ~bytes:1200 () :: !srcs);
+  let group = 77 in
+  List.iter
+    (fun m ->
+      let rx = attach_rx m 260 in
+      Strovl.Client.join rx ~group)
+    mcast_members;
+  let tx = Strovl.Client.attach (Strovl.Net.node net mcast_src) ~port:160 in
+  let s = Strovl.Client.sender tx ~dest:(P.To_group group) ~dport:260 () in
+  srcs :=
+    Strovl_apps.Source.start ~engine ~sender:s ~interval ~bytes:1200 () :: !srcs;
+  !srcs
+
+let us_backbone ~quick () =
+  run_scenario ~name:"throughput-us-backbone" ~spec:(Gen.us_backbone ())
+    ~flows:
+      (mixed_flows
+         ~pairs:[ (0, 8); (3, 11) ]
+         ~rel_pair:(1, 10) ~mcast_src:0
+         ~mcast_members:[ 2; 6; 8; 10 ]
+         ~interval:(Time.us 200))
+    ~quick ()
+
+let geo_50 ~quick () =
+  let spec =
+    Gen.random_geometric (Rng.create 4242L) ~n:50 ~radius:0.24 ~nisps:3
+  in
+  run_scenario ~name:"throughput-geo-50" ~spec
+    ~flows:
+      (mixed_flows
+         ~pairs:[ (0, 43); (7, 31) ]
+         ~rel_pair:(12, 48) ~mcast_src:5
+         ~mcast_members:[ 9; 20; 33; 41; 47 ]
+         ~interval:(Time.us 200))
+    ~quick ()
+
+(* The 4-hop SEA->MIA forward path, wall-clock per packet — the same
+   fixture as bench/main.exe's "forward-path-SEA-MIA-4hops" microbench and
+   bench/smoke_overhead.exe's gate, so the three stay comparable. *)
+let forward_path_ns ~quick () =
+  let engine = Engine.create () in
+  let config =
+    {
+      Strovl.Net.default_config with
+      Strovl.Net.node =
+        { Strovl.Node.default_config with Strovl.Node.proc_delay = 0 };
+    }
+  in
+  let net = Strovl.Net.create ~config engine (Gen.us_backbone ()) in
+  Strovl.Node.register_session (Strovl.Net.node net 8) ~port:9 ~deliver:ignore;
+  let flow = { P.f_src = 0; f_sport = 1; f_dest = P.To_node 8; f_dport = 9 } in
+  let seq = ref 0 in
+  let one_packet () =
+    incr seq;
+    let pkt =
+      P.make ~flow ~routing:P.Link_state ~service:P.Best_effort ~seq:!seq
+        ~sent_at:(Engine.now engine) ~bytes:1200 ()
+    in
+    ignore (Strovl.Node.originate (Strovl.Net.node net 0) pkt);
+    Engine.run engine
+  in
+  for _ = 1 to 1000 do
+    one_packet ()
+  done;
+  let iters = if quick then 10_000 else 50_000 in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    one_packet ()
+  done;
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+  let words = (Gc.minor_words () -. minor0) /. float_of_int iters in
+  (ns, words)
+
+(* ------------------------------- output ------------------------------- *)
+
+let print_result r =
+  Printf.printf
+    "%-24s %10.0f pkts/s  (%d forwarded, %d delivered, %.1f minor words/pkt, \
+     %.2fs wall)\n"
+    r.r_name r.r_pkts_per_sec r.r_forwarded r.r_delivered
+    r.r_minor_words_per_fwd r.r_wall_s
+
+(* Pre-overhaul numbers, measured at commit 14aac68 (boxed heap entries,
+   closure-per-event scheduler, List-building forwarding plane) with the
+   identical scenarios, seeds and full 16 s runs on the same machine.
+   Kept as constants so regenerating BENCH.json preserves the before/after
+   trajectory. *)
+let baseline_json =
+  "  \"baseline\": {\n\
+  \    \"commit\": \"14aac68 (pre fast-path overhaul)\",\n\
+  \    \"throughput-us-backbone\": { \"pkts_per_wall_sec\": 387191, \
+   \"minor_words_per_fwd\": 206.7 },\n\
+  \    \"throughput-geo-50\": { \"pkts_per_wall_sec\": 334539, \
+   \"minor_words_per_fwd\": 220.1 },\n\
+  \    \"forward-path-SEA-MIA-4hops\": { \"ns_per_op\": 1423, \
+   \"minor_words_per_op\": 713.0 }\n\
+  \  },\n"
+
+let json_of_results results (fwd_ns, fwd_words) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"strovl-bench-v1\",\n";
+  Buffer.add_string b baseline_json;
+  Buffer.add_string b "  \"benchmarks\": {\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    \"%s\": { \"pkts_per_wall_sec\": %.0f, \"forwarded\": %d, \
+            \"delivered\": %d, \"minor_words_per_fwd\": %.2f, \"wall_s\": \
+            %.3f },\n"
+           r.r_name r.r_pkts_per_sec r.r_forwarded r.r_delivered
+           r.r_minor_words_per_fwd r.r_wall_s))
+    results;
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"forward-path-SEA-MIA-4hops\": { \"ns_per_op\": %.0f, \
+        \"minor_words_per_op\": %.1f }\n"
+       fwd_ns fwd_words);
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv in
+  let json_path = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        json_path := Some Sys.argv.(i + 1))
+    Sys.argv;
+  let results = [ us_backbone ~quick (); geo_50 ~quick () ] in
+  List.iter print_result results;
+  let ((fwd_ns, fwd_words) as fwd) = forward_path_ns ~quick () in
+  Printf.printf "%-24s %10.1f ns/op   (%.1f minor words/op)\n"
+    "forward-path-4hops" fwd_ns fwd_words;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (json_of_results results fwd);
+    close_out oc;
+    Printf.printf "wrote %s\n" path

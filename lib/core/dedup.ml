@@ -9,18 +9,31 @@ type window = {
   mutable high : int; (* highest seq recorded, -1 initially *)
 }
 
-type t = { window : int; mutable map : window FlowMap.t }
+type t = {
+  window : int;
+  mutable map : window FlowMap.t;
+  (* Last flow touched: packets arrive in per-flow bursts, so one memo slot
+     skips the map descent (and its option allocation) almost always. *)
+  mutable last : (Packet.flow * window) option;
+}
 
 let create ?(window = 4096) () =
   if window <= 0 then invalid_arg "Dedup.create";
-  { window; map = FlowMap.empty }
+  { window; map = FlowMap.empty; last = None }
 
 let get_window t flow =
-  match FlowMap.find_opt flow t.map with
-  | Some w -> w
-  | None ->
-    let w = { bits = Bytes.make t.window '\000'; high = -1 } in
-    t.map <- FlowMap.add flow w t.map;
+  match t.last with
+  | Some (f, w) when f == flow || Packet.flow_compare f flow = 0 -> w
+  | _ ->
+    let w =
+      match FlowMap.find_opt flow t.map with
+      | Some w -> w
+      | None ->
+        let w = { bits = Bytes.make t.window '\000'; high = -1 } in
+        t.map <- FlowMap.add flow w t.map;
+        w
+    in
+    t.last <- Some (flow, w);
     w
 
 let idx t seq = seq mod t.window
@@ -54,8 +67,13 @@ let seen t flow seq =
     false
 
 let peek t flow seq =
-  match FlowMap.find_opt flow t.map with
-  | None -> false
-  | Some w -> ( match lookup t w seq with `Old | `Seen -> true | `Fresh | `Ahead -> false)
+  match t.last with
+  | Some (f, w) when f == flow || Packet.flow_compare f flow = 0 -> (
+    match lookup t w seq with `Old | `Seen -> true | `Fresh | `Ahead -> false)
+  | _ -> (
+    match FlowMap.find_opt flow t.map with
+    | None -> false
+    | Some w -> (
+      match lookup t w seq with `Old | `Seen -> true | `Fresh | `Ahead -> false))
 
 let flows t = FlowMap.cardinal t.map

@@ -47,7 +47,7 @@ let cancel_timer t =
   match t.timer with
   | None -> ()
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.engine h;
     t.timer <- None
 
 (* In Deadline mode: (re)arm the give-up timer for the earliest buffered

@@ -65,7 +65,7 @@ let create ?(config = default_config) ctx =
 let cancel_flush t =
   match t.flush_timer with
   | Some h ->
-    Engine.cancel h;
+    Engine.cancel t.ctx.Lproto.engine h;
     t.flush_timer <- None
   | None -> ()
 

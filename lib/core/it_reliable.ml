@@ -168,7 +168,9 @@ let handle_ack t lseq =
     if not e.e_done then begin
       e.e_done <- true;
       t.n_acked <- t.n_acked + 1;
-      (match e.e_timer with Some h -> Engine.cancel h | None -> ());
+      (match e.e_timer with
+      | Some h -> Engine.cancel t.ctx.Lproto.engine h
+      | None -> ());
       e.e_timer <- None;
       Hashtbl.remove t.by_lseq lseq;
       let q = flow_queue t flow in

@@ -118,10 +118,22 @@ let create ?(config = default_config) ?underlay engine spec =
           end
         in
         let xmit msg =
-          apply_tap src `Out msg (fun msg ->
-              Link.send link ~src ~bytes:(Msg.bytes msg) ~deliver:(fun () ->
+          match t.taps.(src) with
+          | None ->
+            (* Fast path: no sender tap installed, so skip the continuation
+               plumbing. The receiver tap is still consulted at delivery
+               time, exactly like the slow path. *)
+            Link.send link ~src ~bytes:(Msg.bytes msg) ~deliver:(fun () ->
+                match t.taps.(dst) with
+                | None -> Node.receive t.nodes.(dst) ~link:l msg
+                | Some _ ->
                   apply_tap dst `In msg (fun msg ->
-                      Node.receive t.nodes.(dst) ~link:l msg)))
+                      Node.receive t.nodes.(dst) ~link:l msg))
+          | Some _ ->
+            apply_tap src `Out msg (fun msg ->
+                Link.send link ~src ~bytes:(Msg.bytes msg) ~deliver:(fun () ->
+                    apply_tap dst `In msg (fun msg ->
+                        Node.receive t.nodes.(dst) ~link:l msg)))
         in
         Node.attach_link t.nodes.(src) ~link:l ~neighbor:dst
           ~bandwidth_bps:config.link.Link.bandwidth_bps ~xmit

@@ -115,6 +115,17 @@ type t = {
   routing : Route.t;
   registry : Auth.registry option;
   endpoints : (int, endpoint) Hashtbl.t; (* by link id *)
+  (* Data-path twins of [endpoints]: O(1), allocation-free lookup by link
+     id, plus the incident link ids as a flat array. [endpoints] keeps the
+     control-plane iteration order (floods). *)
+  mutable eps : endpoint option array;
+  mutable incident : int array;
+  mutable links_seen : int;
+  (* Reusable out-links scratch buffer for the forwarding plane; the busy
+     flag covers re-entrant forwarding (a deliver callback originating a
+     packet synchronously), which falls back to a fresh buffer. *)
+  mutable out_buf : int array;
+  mutable out_busy : bool;
   sessions : (int, Packet.t -> unit) Hashtbl.t; (* by port *)
   dedup : Dedup.t;
   ctrs : counters;
@@ -157,6 +168,11 @@ let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
     routing = Route.create conn_graph group_state;
     registry = (if config.authenticate then registry else None);
     endpoints = Hashtbl.create 8;
+    eps = Array.make (max 1 (Graph.link_count graph)) None;
+    incident = Array.of_list (Graph.incident graph id);
+    links_seen = Graph.link_count graph;
+    out_buf = Array.make (max 1 (List.length (Graph.incident graph id))) 0;
+    out_busy = false;
     sessions = Hashtbl.create 8;
     dedup = Dedup.create ();
     ctrs =
@@ -185,6 +201,23 @@ let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
         "strovl_node_dropped";
     s_flow_delivered = Hashtbl.create 8;
   }
+
+(* Re-sync the data-path arrays with the graph/endpoint tables. Called
+   when a link is attached and (defensively) when the graph gained links
+   since the last sync. *)
+let refresh_topology t =
+  t.links_seen <- Graph.link_count t.graph;
+  if Array.length t.eps < t.links_seen then begin
+    let n = Array.make t.links_seen None in
+    Array.blit t.eps 0 n 0 (Array.length t.eps);
+    t.eps <- n
+  end;
+  t.incident <- Array.of_list (Graph.incident t.graph t.id);
+  if Array.length t.out_buf < Array.length t.incident + 1 then
+    t.out_buf <- Array.make (Array.length t.incident + 1) 0
+
+let ep_for t link =
+  if link >= 0 && link < Array.length t.eps then t.eps.(link) else None
 
 let id t = t.id
 let config t = t.cfg
@@ -250,9 +283,9 @@ let flood_local_update t msg_opt =
 (* ------------------------------------------------------------------ *)
 
 let deliver_local t pkt ~port =
-  match Hashtbl.find_opt t.sessions port with
-  | None -> ()
-  | Some deliver ->
+  match Hashtbl.find t.sessions port with
+  | exception Not_found -> ()
+  | deliver ->
     t.ctrs.delivered <- t.ctrs.delivered + 1;
     Om.Counter.incr m_delivered;
     Om.Histogram.observe m_delivery_latency
@@ -282,34 +315,56 @@ let deliver_local t pkt ~port =
     trace_pkt t pkt (if pkt.Packet.replay then Obs.Deliver_replay else Obs.Deliver);
     deliver pkt
 
-(* Ports at this node that must receive the packet. *)
-let local_ports_for t pkt =
+(* Local delivery for this node, fused with the former local-port listing
+   so the routing level never materialises a port list per packet. *)
+let deliver_locals t pkt =
   match pkt.Packet.flow.Packet.f_dest with
-  | Packet.To_node n when n = t.id -> [ pkt.Packet.flow.Packet.f_dport ]
-  | Packet.To_node _ -> []
+  | Packet.To_node n ->
+    if n = t.id then deliver_local t pkt ~port:pkt.Packet.flow.Packet.f_dport
   | Packet.To_group g ->
     if Group.has_local t.group_state ~group:g then
-      Group.local_ports t.group_state ~group:g
-    else []
-  | Packet.Any_of_group g ->
-    if Route.anycast_target t.routing ~group:g = Some t.id then begin
+      List.iter
+        (fun port -> deliver_local t pkt ~port)
+        (Group.local_ports t.group_state ~group:g)
+  | Packet.Any_of_group g -> (
+    match Route.anycast_target t.routing ~group:g with
+    | Some target when target = t.id -> (
       match Group.local_ports t.group_state ~group:g with
-      | [] -> []
-      | p :: _ -> [ p ]
-    end
-    else []
+      | [] -> ()
+      | p :: _ -> deliver_local t pkt ~port:p)
+    | _ -> ())
 
-(* Links this node must forward the packet on (routing level, §II-B). *)
-let out_links_for t pkt ~from_link =
+(* Whether [deliver_locals] would target at least one port here (the
+   unicast destination counts even with no session bound, matching the old
+   list semantics used by IT-Reliable acceptance). *)
+let has_local_ports t pkt =
+  match pkt.Packet.flow.Packet.f_dest with
+  | Packet.To_node n -> n = t.id
+  | Packet.To_group g ->
+    Group.has_local t.group_state ~group:g
+    && Group.local_ports t.group_state ~group:g <> []
+  | Packet.Any_of_group g -> (
+    match Route.anycast_target t.routing ~group:g with
+    | Some target when target = t.id ->
+      Group.local_ports t.group_state ~group:g <> []
+    | _ -> false)
+
+(* Links this node must forward the packet on (routing level, §II-B),
+   written into [buf]; returns the count. Fill order matches the list the
+   old code built, so traces are byte-identical. *)
+let collect_outs t pkt ~from_link buf =
+  if Graph.link_count t.graph <> t.links_seen then refresh_topology t;
   let unicast_hop dst =
-    if dst = t.id then []
+    if dst = t.id then 0
     else begin
       match Route.next_hop t.routing ~dst with
-      | Some (_, l) -> [ l ]
+      | Some (_, l) ->
+        buf.(0) <- l;
+        1
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
         note_drop t pkt Obs.No_route m_drop_no_route;
-        []
+        0
     end
   in
   match pkt.Packet.routing with
@@ -324,23 +379,52 @@ let out_links_for t pkt ~from_link =
         if pkt.Packet.ingress >= 0 then pkt.Packet.ingress
         else pkt.Packet.flow.Packet.f_src
       in
-      List.filter
-        (fun l -> l <> from_link)
-        (Route.mcast_out_links t.routing ~source:root ~group:g)
+      let rec fill n = function
+        | [] -> n
+        | l :: rest ->
+          if l <> from_link then begin
+            buf.(n) <- l;
+            fill (n + 1) rest
+          end
+          else fill n rest
+      in
+      fill 0 (Route.mcast_out_links t.routing ~source:root ~group:g)
     | Packet.Any_of_group g -> begin
       match Route.anycast_target t.routing ~group:g with
       | Some target when target <> t.id -> unicast_hop target
-      | Some _ -> []
+      | Some _ -> 0
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
         note_drop t pkt Obs.No_route m_drop_no_route;
-        []
+        0
     end
   end
   | Packet.Source_mask mask ->
-    List.filter
-      (fun l -> l <> from_link && Bitmask.mem mask l && Hashtbl.mem t.endpoints l)
-      (Graph.incident t.graph t.id)
+    let rec fill i n =
+      if i >= Array.length t.incident then n
+      else begin
+        let l = t.incident.(i) in
+        if
+          l <> from_link
+          && Bitmask.mem mask l
+          && (match ep_for t l with Some _ -> true | None -> false)
+        then begin
+          buf.(n) <- l;
+          fill (i + 1) (n + 1)
+        end
+        else fill (i + 1) n
+      end
+    in
+    fill 0 0
+
+let acquire_outs t =
+  if t.out_busy then Array.make (Array.length t.incident + 1) 0
+  else begin
+    t.out_busy <- true;
+    t.out_buf
+  end
+
+let release_outs t buf = if buf == t.out_buf then t.out_busy <- false
 
 (* ------------------------------------------------------------------ *)
 (* CPU model (§II-D)                                                   *)
@@ -428,8 +512,10 @@ let rec get_proto t ep cls =
     ep.ep_protos.(cls) <- Some p;
     p
 
-and send_on t ep pkt =
-  let pkt = Packet.next_hop_copy pkt in
+(* Send one already-hop-bumped packet down a link's protocol instance. The
+   caller makes the [next_hop_copy] once per routing decision and shares it
+   across the fan-out (the packet record is immutable). *)
+and send_prepped t ep pkt =
   t.ctrs.forwarded <- t.ctrs.forwarded + 1;
   Om.Counter.incr m_forwarded;
   trace_pkt t pkt
@@ -490,14 +576,18 @@ and forward t ~from_link pkt =
     note_drop t pkt Obs.Dup m_drop_dup
   end
   else begin
-    List.iter (fun port -> deliver_local t pkt ~port) (local_ports_for t pkt);
-    let outs = out_links_for t pkt ~from_link in
-    List.iter
-      (fun l ->
-        match Hashtbl.find_opt t.endpoints l with
-        | Some ep -> send_on t ep pkt
-        | None -> ())
-      outs
+    deliver_locals t pkt;
+    let buf = acquire_outs t in
+    let n = collect_outs t pkt ~from_link buf in
+    if n > 0 then begin
+      let fwd = Packet.next_hop_copy pkt in
+      for i = 0 to n - 1 do
+        match ep_for t buf.(i) with
+        | Some ep -> send_prepped t ep fwd
+        | None -> ()
+      done
+    end;
+    release_outs t buf
   end
 
 (* IT-Reliable acceptance: the packet is taken responsibility for only if
@@ -518,46 +608,51 @@ and try_accept t ~from_link pkt =
     true
   end
   else begin
-    let outs = out_links_for t pkt ~from_link in
-    let ports = local_ports_for t pkt in
-    if outs = [] && ports = [] then begin
-      (* Nowhere to take responsibility toward (e.g. destination currently
-         unreachable): refuse rather than absorb — reliability must not be
-         silently dropped. *)
-      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
-      note_drop t pkt Obs.Backpressure m_drop_backpressure;
-      false
-    end
-    else begin
-    let room =
-      List.for_all
-        (fun l ->
-          match Hashtbl.find_opt t.endpoints l with
-          | None -> true
-          | Some ep -> begin
+    let buf = acquire_outs t in
+    let n = collect_outs t pkt ~from_link buf in
+    let result =
+      if n = 0 && not (has_local_ports t pkt) then begin
+        (* Nowhere to take responsibility toward (e.g. destination currently
+           unreachable): refuse rather than absorb — reliability must not be
+           silently dropped. *)
+        t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+        note_drop t pkt Obs.Backpressure m_drop_backpressure;
+        false
+      end
+      else begin
+        let rec room i =
+          i >= n
+          ||
+          match ep_for t buf.(i) with
+          | None -> room (i + 1)
+          | Some ep -> (
             match get_proto t ep (Packet.service_class Packet.It_reliable) with
-            | P_itr p -> It_reliable.can_accept p ~flow:pkt.Packet.flow
-            | _ -> true
-          end)
-        outs
+            | P_itr p ->
+              It_reliable.can_accept p ~flow:pkt.Packet.flow && room (i + 1)
+            | _ -> room (i + 1))
+        in
+        if not (room 0) then begin
+          t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
+          note_drop t pkt Obs.Backpressure m_drop_backpressure;
+          false
+        end
+        else begin
+          ignore (Dedup.seen t.dedup pkt.Packet.flow pkt.Packet.seq);
+          deliver_locals t pkt;
+          if n > 0 then begin
+            let fwd = Packet.next_hop_copy pkt in
+            for i = 0 to n - 1 do
+              match ep_for t buf.(i) with
+              | Some ep -> send_prepped t ep fwd
+              | None -> ()
+            done
+          end;
+          true
+        end
+      end
     in
-    if not room then begin
-      t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
-      note_drop t pkt Obs.Backpressure m_drop_backpressure;
-      false
-    end
-    else begin
-      ignore (Dedup.seen t.dedup pkt.Packet.flow pkt.Packet.seq);
-      List.iter (fun port -> deliver_local t pkt ~port) ports;
-      List.iter
-        (fun l ->
-          match Hashtbl.find_opt t.endpoints l with
-          | Some ep -> send_on t ep pkt
-          | None -> ())
-        outs;
-      true
-    end
-    end
+    release_outs t buf;
+    result
   end
 
 (* ------------------------------------------------------------------ *)
@@ -605,13 +700,17 @@ let reroute_stranded_reliable t ep =
     List.iter
       (fun pkt ->
         let pkt = Packet.as_replay pkt in
-        let outs = out_links_for t pkt ~from_link:ep.ep_link in
-        List.iter
-          (fun l ->
-            match Hashtbl.find_opt t.endpoints l with
-            | Some ep' -> send_on t ep' pkt
-            | None -> ())
-          outs)
+        let buf = acquire_outs t in
+        let n = collect_outs t pkt ~from_link:ep.ep_link buf in
+        if n > 0 then begin
+          let fwd = Packet.next_hop_copy pkt in
+          for i = 0 to n - 1 do
+            match ep_for t buf.(i) with
+            | Some ep' -> send_prepped t ep' fwd
+            | None -> ()
+          done
+        end;
+        release_outs t buf)
       stranded
   | Some (P_best _ | P_rt _ | P_itp _ | P_itr _ | P_fec _) | None -> ()
 
@@ -669,7 +768,7 @@ let proto_recv t ep cls msg =
   | P_fec p -> Fec_link.recv p msg
 
 let receive t ~link msg =
-  match Hashtbl.find_opt t.endpoints link with
+  match ep_for t link with
   | None -> ()
   | Some ep -> begin
     match msg with
@@ -726,7 +825,7 @@ let receive t ~link msg =
 let attach_link t ~link ~neighbor ~bandwidth_bps ~xmit =
   if t.started then invalid_arg "Node.attach_link: already started";
   let metric = Conn_graph.metric t.conn_graph link in
-  Hashtbl.replace t.endpoints link
+  let ep =
     {
       ep_link = link;
       ep_neighbor = neighbor;
@@ -743,6 +842,10 @@ let attach_link t ~link ~neighbor ~bandwidth_bps ~xmit =
       ep_last_suspect = Time.zero;
       ep_probe = None;
     }
+  in
+  Hashtbl.replace t.endpoints link ep;
+  refresh_topology t;
+  t.eps.(link) <- Some ep
 
 (* Health probing on one endpoint. Observational by default; with
    [probe_routing] the probe-derived expected-latency ingredients (one-way
@@ -850,6 +953,4 @@ let originate t pkt =
 let link_up_view t ~link = Conn_graph.local_view t.conn_graph link
 
 let rtt_estimate t ~link =
-  match Hashtbl.find_opt t.endpoints link with
-  | None -> 0
-  | Some ep -> ep.ep_rtt
+  match ep_for t link with None -> 0 | Some ep -> ep.ep_rtt

@@ -138,7 +138,7 @@ let handle_request t lseq =
 let cancel_pending t lseq =
   match Hashtbl.find_opt t.pending lseq with
   | Some timers ->
-    List.iter Engine.cancel !timers;
+    List.iter (Engine.cancel t.ctx.Lproto.engine) !timers;
     Hashtbl.remove t.pending lseq
   | None -> ()
 

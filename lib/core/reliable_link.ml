@@ -101,7 +101,9 @@ let xmit_data t lseq pkt auth =
   t.ctx.Lproto.xmit (Msg.Data { cls = t.cls; lseq; pkt; auth })
 
 let rec arm_rto t =
-  (match t.rto_timer with Some h -> Engine.cancel h | None -> ());
+  (match t.rto_timer with
+  | Some h -> Engine.cancel t.ctx.Lproto.engine h
+  | None -> ());
   if IntMap.is_empty t.store then t.rto_timer <- None
   else
     t.rto_timer <-
@@ -145,7 +147,9 @@ let handle_nack t missing =
 (* ---------------- receiver side ---------------- *)
 
 let send_cum_ack t =
-  (match t.ack_timer with Some h -> Engine.cancel h | None -> ());
+  (match t.ack_timer with
+  | Some h -> Engine.cancel t.ctx.Lproto.engine h
+  | None -> ());
   t.ack_timer <- None;
   t.unacked_count <- 0;
   t.ctx.Lproto.xmit (Msg.Link_ack { cls = t.cls; cum = t.cum })
@@ -212,7 +216,7 @@ let handle_data t lseq pkt =
   else begin
     (match Hashtbl.find_opt t.missing lseq with
     | Some h ->
-      Engine.cancel h;
+      Engine.cancel t.ctx.Lproto.engine h;
       Hashtbl.remove t.missing lseq
     | None -> ());
     if lseq > t.recv_high then begin
@@ -249,7 +253,9 @@ let recv t = function
 let drain_store t =
   let pkts = List.map (fun (_, (pkt, _)) -> pkt) (IntMap.bindings t.store) in
   t.store <- IntMap.empty;
-  (match t.rto_timer with Some h -> Engine.cancel h | None -> ());
+  (match t.rto_timer with
+  | Some h -> Engine.cancel t.ctx.Lproto.engine h
+  | None -> ());
   t.rto_timer <- None;
   pkts
 

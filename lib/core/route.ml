@@ -16,6 +16,11 @@ type t = {
   mutable tables : tables option;
   mutable mcast_cache : (int * int, Mcast.t) Hashtbl.t;
   mutable mcast_version : int;
+  (* Last (source, group) tree, so the steady state — one mcast flow hitting
+     the same tree packet after packet — skips the hashtable entirely. *)
+  mutable mc_src : int;
+  mutable mc_grp : int;
+  mutable mc_tree : Mcast.t option;
 }
 
 let create conn group =
@@ -26,6 +31,9 @@ let create conn group =
     tables = None;
     mcast_cache = Hashtbl.create 16;
     mcast_version = -1;
+    mc_src = -1;
+    mc_grp = -1;
+    mc_tree = None;
   }
 
 let usable t l = Conn_graph.usable t.conn l
@@ -61,18 +69,28 @@ let mcast_tree t ~source ~group =
   let v = Conn_graph.version t.conn + (1000000 * Group.version t.group) in
   if t.mcast_version <> v then begin
     Hashtbl.reset t.mcast_cache;
-    t.mcast_version <- v
+    t.mcast_version <- v;
+    t.mc_tree <- None
   end;
-  match Hashtbl.find_opt t.mcast_cache (source, group) with
-  | Some tree -> tree
-  | None ->
-    let g = Conn_graph.graph t.conn in
-    let members = Group.member_nodes t.group ~group in
+  match t.mc_tree with
+  | Some tree when t.mc_src = source && t.mc_grp = group -> tree
+  | _ ->
     let tree =
-      Mcast.shortest_path_tree ~usable:(usable t) ~weight:(weight t) g ~source
-        ~members
+      match Hashtbl.find_opt t.mcast_cache (source, group) with
+      | Some tree -> tree
+      | None ->
+        let g = Conn_graph.graph t.conn in
+        let members = Group.member_nodes t.group ~group in
+        let tree =
+          Mcast.shortest_path_tree ~usable:(usable t) ~weight:(weight t) g
+            ~source ~members
+        in
+        Hashtbl.replace t.mcast_cache (source, group) tree;
+        tree
     in
-    Hashtbl.replace t.mcast_cache (source, group) tree;
+    t.mc_src <- source;
+    t.mc_grp <- group;
+    t.mc_tree <- Some tree;
     tree
 
 let mcast_out_links t ~source ~group =

@@ -231,13 +231,10 @@ let get_routing c =
     if nwords > 1024 then raise (Bad "oversized bitmask");
     if nwords <> max 1 ((nlinks + 63) / 64) then raise (Bad "bitmask size mismatch");
     let mask = Strovl_topo.Bitmask.create ~nlinks in
+    (* Whole-word decode; [set_word] drops out-of-range bits exactly like
+       the per-bit range check used to. *)
     for w = 0 to nwords - 1 do
-      let word = get_i64 c in
-      for bit = 0 to 63 do
-        let l = (w * 64) + bit in
-        if l < nlinks && Int64.logand word (Int64.shift_left 1L bit) <> 0L then
-          Strovl_topo.Bitmask.set mask l
-      done
+      Strovl_topo.Bitmask.set_word mask w (get_i64 c)
     done;
     Packet.Source_mask mask
   | _ -> raise (Bad "bad routing kind")
@@ -287,7 +284,10 @@ let get_packet c =
 
 let get_list c get =
   let n = get_u16 c in
-  if n > 0xffff then raise (Bad "oversized list");
+  (* Every element costs at least one byte of input, so a count beyond the
+     bytes remaining after the cursor is hostile: reject it before
+     allocating an n-element list. *)
+  if n > String.length c.data - c.pos then raise (Bad "oversized list");
   List.init n (fun _ -> get c)
 
 let decode_exn c =
@@ -375,4 +375,45 @@ let payload_bytes = function
   | Msg.Lsu _ | Msg.Group_update _ ->
     0
 
-let size msg = String.length (encode msg) + payload_bytes msg
+(* ------------------------------- sizing ------------------------------- *)
+
+(* Header sizes computed arithmetically from the message, mirroring the
+   encoder field by field, so the per-transmission accounting never pays
+   for an encode. The qcheck suite pins [header_size msg] to
+   [String.length (encode msg)]. *)
+
+let auth_size = function None -> 1 | Some _ -> 9
+
+let routing_size = function
+  | Packet.Link_state -> 1
+  | Packet.Source_mask mask -> 5 + Strovl_topo.Bitmask.byte_size mask
+
+let service_size = function
+  | Packet.Best_effort | Packet.Reliable | Packet.It_reliable -> 1
+  | Packet.Realtime _ -> 11
+  | Packet.It_priority _ -> 5
+  | Packet.Fec _ -> 3
+
+(* src 2 + sport 4 + dest 5 + dport 4 + seq 4 + sent_at 8 + bytes 4
+   + tag length prefix 2 + hops 2 + ingress 2 + replay 1 = 38. *)
+let packet_size (p : Packet.t) =
+  38
+  + routing_size p.Packet.routing
+  + service_size p.Packet.service
+  + min (String.length p.Packet.tag) 0xffff
+  + auth_size p.Packet.auth
+
+let header_size = function
+  | Msg.Data { pkt; auth; _ } -> 6 + auth_size auth + packet_size pkt
+  | Msg.Link_ack _ -> 6
+  | Msg.Link_nack { missing; _ } -> 4 + (4 * List.length missing)
+  | Msg.Rt_request _ | Msg.It_ack _ -> 5
+  | Msg.Hello _ | Msg.Hello_ack _ | Msg.Probe _ | Msg.Probe_ack _ -> 13
+  | Msg.Lsu { links; auth; _ } ->
+    9 + (11 * List.length links) + auth_size auth
+  | Msg.Group_update { memb; auth; _ } ->
+    9 + (5 * List.length memb) + auth_size auth
+  | Msg.Fec_parity { blk_pkts; _ } ->
+    12 + List.fold_left (fun acc p -> acc + packet_size p) 0 blk_pkts
+
+let size msg = header_size msg + payload_bytes msg

@@ -26,7 +26,12 @@ val payload_bytes : Msg.t -> int
 (** Application payload bytes that would follow the encoded header on the
     wire (0 for control messages). *)
 
+val header_size : Msg.t -> int
+(** Exact length of [encode m], computed arithmetically without
+    serializing. The qcheck suite pins [header_size m] to
+    [String.length (encode m)] for arbitrary messages. *)
+
 val size : Msg.t -> int
-(** [String.length (encode m) + payload_bytes m]: the exact datagram size.
-    {!Msg.bytes} is a cheap analytic approximation of this; the test suite
-    keeps the two within a small tolerance. *)
+(** [header_size m + payload_bytes m]: the exact datagram size, computed
+    without encoding. {!Msg.bytes} is a cheap analytic approximation of
+    this; the test suite keeps the two within a small tolerance. *)

@@ -130,9 +130,8 @@ let send t ~src ~bytes ~deliver =
     end;
     let dst = other t src in
     (* Direction determines which provider is the source side. *)
-    let isp_src, isp_dst =
-      if src = t.ea then (t.isp, t.isp_b) else (t.isp_b, t.isp)
-    in
+    let isp_src = if src = t.ea then t.isp else t.isp_b in
+    let isp_dst = if src = t.ea then t.isp_b else t.isp in
     ignore
       (Engine.schedule_at engine ~at:departure (fun () ->
            Underlay.transmit_pair t.underlay ~isp_src ~isp_dst ~src ~dst ~deliver))

@@ -16,6 +16,14 @@ type t = {
      current routing view. Invalidated by bumping the epoch. *)
   mutable epoch : int;
   cache : (int * int, int * Dijkstra.result) Hashtbl.t; (* (isp,src) -> (epoch, result) *)
+  (* Per-transmission fast path: flat segment arrays for routed paths and
+     resolved peering choices, keyed by packed ints and validated against
+     the epoch, so steady-state wire transmissions never re-walk Dijkstra
+     parents or re-fold peering sites. *)
+  seg_cache : (int, int * int array option) Hashtbl.t;
+      (* isp,src,dst -> epoch, segments *)
+  peer_cache : (int, int * int * int) Hashtbl.t;
+      (* isps,src,dst -> epoch, peer site (-1 none), total delay *)
   presence : bool array array; (* isp -> site -> has fiber *)
   mutable peering_delay : Time.t;
   mutable peering_loss : Loss.t;
@@ -54,6 +62,8 @@ let create ?(convergence = Time.sec 40) engine spec =
     isp_seg;
     epoch = 0;
     cache = Hashtbl.create 64;
+    seg_cache = Hashtbl.create 256;
+    peer_cache = Hashtbl.create 64;
     presence;
     peering_delay = Time.ms 2;
     peering_loss =
@@ -141,38 +151,71 @@ let routed_path t ~isp ~src ~dst =
   | None -> None
   | Some links -> Some (List.map (fun l -> t.isp_seg.(isp).(l)) links)
 
-let path_delay t ~isp ~src ~dst =
-  match routed_path t ~isp ~src ~dst with
-  | None -> None
+(* Cached flat-array form of [routed_path], revalidated by epoch. *)
+let routed_segs_slow t key ~isp ~src ~dst =
+  let segs =
+    match routed_path t ~isp ~src ~dst with
+    | None -> None
+    | Some l -> Some (Array.of_list l)
+  in
+  Hashtbl.replace t.seg_cache key (t.epoch, segs);
+  segs
+
+let routed_segs t ~isp ~src ~dst =
+  let ns = nsites t in
+  let key = (((isp * ns) + src) * ns) + dst in
+  match Hashtbl.find t.seg_cache key with
+  | e, segs when e = t.epoch -> segs
+  | _ -> routed_segs_slow t key ~isp ~src ~dst
+  | exception Not_found -> routed_segs_slow t key ~isp ~src ~dst
+
+(* Sum of segment delays; [min_int] when unreachable. *)
+let path_delay_int t ~isp ~src ~dst =
+  match routed_segs t ~isp ~src ~dst with
+  | None -> min_int
   | Some segs ->
-    Some
-      (List.fold_left
-         (fun acc si -> acc + t.spec.Gen.segments.(si).Gen.seg_delay)
-         0 segs)
+    let rec sum i acc =
+      if i >= Array.length segs then acc
+      else sum (i + 1) (acc + t.spec.Gen.segments.(segs.(i)).Gen.seg_delay)
+    in
+    sum 0 0
+
+let path_delay t ~isp ~src ~dst =
+  match path_delay_int t ~isp ~src ~dst with
+  | d when d = min_int -> None
+  | d -> Some d
 
 (* Fate of a packet injected now: walk the routed path accumulating delay;
    the packet dies at the first segment that is actually down or whose loss
-   process fires at the crossing instant. *)
+   process fires at the crossing instant. [min_int] means lost. Loss is
+   sampled segment by segment in path order (the RNG stream is part of the
+   simulation's determinism contract). *)
+let rec walk_segs t segs i acc ~now =
+  if i >= Array.length segs then acc
+  else begin
+    let si = segs.(i) in
+    if t.seg_up.(si) && not (Loss.drops t.seg_loss.(si) ~now:(Time.add now acc))
+    then
+      walk_segs t segs (i + 1)
+        (Time.add acc t.spec.Gen.segments.(si).Gen.seg_delay)
+        ~now
+    else min_int
+  end
+
+let transmit_latency t ~isp ~src ~dst =
+  match routed_segs t ~isp ~src ~dst with
+  | None -> min_int
+  | Some segs -> walk_segs t segs 0 Time.zero ~now:(Engine.now t.engine)
+
 let transmit_result t ~isp ~src ~dst =
-  match routed_path t ~isp ~src ~dst with
-  | None -> `Lost
-  | Some segs ->
-    let now = Engine.now t.engine in
-    let rec walk acc = function
-      | [] -> `Delivered acc
-      | si :: rest ->
-        if
-          t.seg_up.(si)
-          && not (Loss.drops t.seg_loss.(si) ~now:(Time.add now acc))
-        then walk (Time.add acc t.spec.Gen.segments.(si).Gen.seg_delay) rest
-        else `Lost
-    in
-    walk Time.zero segs
+  match transmit_latency t ~isp ~src ~dst with
+  | d when d = min_int -> `Lost
+  | d -> `Delivered d
 
 let transmit t ~isp ~src ~dst ~deliver =
-  match transmit_result t ~isp ~src ~dst with
-  | `Lost -> note_lost src
-  | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)
+  match transmit_latency t ~isp ~src ~dst with
+  | d when d = min_int -> note_lost src
+  | d -> ignore (Engine.schedule t.engine ~delay:d deliver)
 
 (* --------------------------- off-net paths --------------------------- *)
 
@@ -189,69 +232,73 @@ let peering_sites t ~isp_a ~isp_b =
   done;
   !acc
 
-(* The best peering site under the current routing views. *)
-let best_peering t ~isp_src ~isp_dst ~src ~dst =
-  List.fold_left
-    (fun best s ->
-      match
-        ( path_delay t ~isp:isp_src ~src ~dst:s,
-          path_delay t ~isp:isp_dst ~src:s ~dst )
-      with
-      | Some d1, Some d2 -> begin
-        let total = Time.add (Time.add d1 d2) t.peering_delay in
-        match best with
-        | Some (_, b) when b <= total -> best
-        | _ -> Some (s, total)
-      end
-      | _ -> best)
-    None
-    (peering_sites t ~isp_a:isp_src ~isp_b:isp_dst)
+(* The best peering site under the current routing views: [(peer, total)]
+   with [peer = -1] when the ISPs share no usable path. Cached by epoch —
+   the fold over peering sites is pure (no loss sampling), so caching it
+   cannot perturb the RNG stream. *)
+let best_peering_slow t key ~isp_src ~isp_dst ~src ~dst =
+  let best =
+    List.fold_left
+      (fun ((_, bd) as best) s ->
+        let d1 = path_delay_int t ~isp:isp_src ~src ~dst:s in
+        let d2 = path_delay_int t ~isp:isp_dst ~src:s ~dst in
+        if d1 = min_int || d2 = min_int then best
+        else begin
+          let total = Time.add (Time.add d1 d2) t.peering_delay in
+          if bd >= 0 && bd <= total then best else (s, total)
+        end)
+      (-1, -1)
+      (peering_sites t ~isp_a:isp_src ~isp_b:isp_dst)
+  in
+  let peer, total = best in
+  Hashtbl.replace t.peer_cache key (t.epoch, peer, total);
+  best
+
+let best_peering_int t ~isp_src ~isp_dst ~src ~dst =
+  let ns = nsites t in
+  let key =
+    ((((isp_src * t.spec.Gen.nisps) + isp_dst) * ns + src) * ns) + dst
+  in
+  match Hashtbl.find t.peer_cache key with
+  | e, peer, total when e = t.epoch -> (peer, total)
+  | _ -> best_peering_slow t key ~isp_src ~isp_dst ~src ~dst
+  | exception Not_found -> best_peering_slow t key ~isp_src ~isp_dst ~src ~dst
 
 let path_delay_pair t ~isp_src ~isp_dst ~src ~dst =
   if isp_src = isp_dst then path_delay t ~isp:isp_src ~src ~dst
-  else Option.map snd (best_peering t ~isp_src ~isp_dst ~src ~dst)
-
-(* Walk one leg's segments starting [acc] after packet injection. *)
-let walk_leg t segs ~now acc0 =
-  let rec walk acc = function
-    | [] -> Some acc
-    | si :: rest ->
-      if
-        t.seg_up.(si)
-        && not (Loss.drops t.seg_loss.(si) ~now:(Time.add now acc))
-      then walk (Time.add acc t.spec.Gen.segments.(si).Gen.seg_delay) rest
-      else None
-  in
-  walk acc0 segs
-
-let transmit_result_pair t ~isp_src ~isp_dst ~src ~dst =
-  if isp_src = isp_dst then transmit_result t ~isp:isp_src ~src ~dst
   else begin
-    match best_peering t ~isp_src ~isp_dst ~src ~dst with
-    | None -> `Lost
-    | Some (peer, _) -> begin
-      let now = Engine.now t.engine in
-      match
-        ( routed_path t ~isp:isp_src ~src ~dst:peer,
-          routed_path t ~isp:isp_dst ~src:peer ~dst )
-      with
-      | Some leg1, Some leg2 -> begin
-        match walk_leg t leg1 ~now Time.zero with
-        | None -> `Lost
-        | Some acc ->
-          if Loss.drops t.peering_loss ~now:(Time.add now acc) then `Lost
-          else begin
-            let acc = Time.add acc t.peering_delay in
-            match walk_leg t leg2 ~now acc with
-            | None -> `Lost
-            | Some total -> `Delivered total
-          end
-      end
-      | _ -> `Lost
+    match best_peering_int t ~isp_src ~isp_dst ~src ~dst with
+    | -1, _ -> None
+    | _, total -> Some total
+  end
+
+let transmit_latency_pair t ~isp_src ~isp_dst ~src ~dst =
+  if isp_src = isp_dst then transmit_latency t ~isp:isp_src ~src ~dst
+  else begin
+    let peer, _ = best_peering_int t ~isp_src ~isp_dst ~src ~dst in
+    if peer < 0 then min_int
+    else begin
+      match routed_segs t ~isp:isp_src ~src ~dst:peer with
+      | None -> min_int
+      | Some leg1 -> (
+        match routed_segs t ~isp:isp_dst ~src:peer ~dst with
+        | None -> min_int
+        | Some leg2 ->
+          let now = Engine.now t.engine in
+          let acc = walk_segs t leg1 0 Time.zero ~now in
+          if acc = min_int then min_int
+          else if Loss.drops t.peering_loss ~now:(Time.add now acc) then
+            min_int
+          else walk_segs t leg2 0 (Time.add acc t.peering_delay) ~now)
     end
   end
 
+let transmit_result_pair t ~isp_src ~isp_dst ~src ~dst =
+  match transmit_latency_pair t ~isp_src ~isp_dst ~src ~dst with
+  | d when d = min_int -> `Lost
+  | d -> `Delivered d
+
 let transmit_pair t ~isp_src ~isp_dst ~src ~dst ~deliver =
-  match transmit_result_pair t ~isp_src ~isp_dst ~src ~dst with
-  | `Lost -> note_lost src
-  | `Delivered latency -> ignore (Engine.schedule t.engine ~delay:latency deliver)
+  match transmit_latency_pair t ~isp_src ~isp_dst ~src ~dst with
+  | d when d = min_int -> note_lost src
+  | d -> ignore (Engine.schedule t.engine ~delay:d deliver)

@@ -1,17 +1,85 @@
-type event = { mutable cancelled : bool; fn : unit -> unit }
+(* Allocation-free event engine.
 
-type handle = event
+   Events live in a pooled slot store: parallel int arrays for the
+   (time, seq) key, a closure array, a state byte per slot, and an
+   intrusive free list threaded through [p_next]. A generation counter per
+   slot makes handles ABA-safe ints — [(gen lsl slot_bits) lor slot] — so
+   [schedule]/[cancel] allocate nothing once the pool has reached its
+   high-water mark.
+
+   Pending events are keyed by (time, seq), lexicographic, across two
+   lanes:
+
+   - a timer wheel of [wheel_size] one-microsecond buckets for the
+     dominant short-delay class (link transmissions, CPU charges, most
+     retransmission timers). Because the engine always pops the global
+     minimum, every queued time lies in [clock, clock + wheel_size) when
+     it sits in the wheel, so a bucket never mixes two distinct times and
+     its FIFO chain is automatically in seq order;
+   - a binary heap (unboxed parallel arrays, see {!Heap}) for everything
+     scheduled further out.
+
+   The two lanes are merged by comparing (time, seq) at pop time, so
+   execution order is bit-identical to a single global heap. *)
+
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+let wheel_bits = 15
+let wheel_size = 1 lsl wheel_bits (* 32.768 ms of 1 us buckets *)
+let wheel_mask = wheel_size - 1
+let bm_words = wheel_size lsr 5 (* occupancy bitmap, 32 buckets per word *)
+
+let nop () = ()
+
+(* Slot states. *)
+let st_free = '\000'
+let st_pending = '\001'
+let st_cancelled = '\002'
+
+type handle = int
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
-  queue : event Heap.t;
   root_rng : Rng.t;
+  (* Event pool. *)
+  mutable p_fn : (unit -> unit) array;
+  mutable p_time : int array;
+  mutable p_seq : int array;
+  mutable p_gen : int array;
+  mutable p_state : Bytes.t;
+  mutable p_next : int array; (* free list / wheel bucket chaining *)
+  mutable free_head : int;
+  (* Far lane: heap of slot indices keyed by (time, seq). *)
+  heap : int Heap.t;
+  (* Near lane: timer wheel. *)
+  w_head : int array;
+  w_tail : int array;
+  w_bitmap : int array;
+  mutable w_count : int;
+  mutable w_next_time : int; (* earliest queued wheel time; -1 when empty *)
 }
 
 let create ?(seed = 1L) () =
   let t =
-    { clock = Time.zero; seq = 0; queue = Heap.create (); root_rng = Rng.create seed }
+    {
+      clock = Time.zero;
+      seq = 0;
+      root_rng = Rng.create seed;
+      p_fn = [||];
+      p_time = [||];
+      p_seq = [||];
+      p_gen = [||];
+      p_state = Bytes.empty;
+      p_next = [||];
+      free_head = -1;
+      heap = Heap.create ();
+      w_head = Array.make wheel_size (-1);
+      w_tail = Array.make wheel_size (-1);
+      w_bitmap = Array.make bm_words 0;
+      w_count = 0;
+      w_next_time = -1;
+    }
   in
   (* The flight recorder timestamps events with this engine's virtual
      clock. Last engine created wins — one live simulation per process. *)
@@ -21,41 +89,179 @@ let create ?(seed = 1L) () =
 let now t = t.clock
 let rng t = t.root_rng
 
+(* ------------------------------ pool ---------------------------------- *)
+
+let grow_pool t =
+  let cap = Array.length t.p_time in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  if ncap > 1 lsl slot_bits then failwith "Engine: event pool exhausted";
+  let nfn = Array.make ncap nop in
+  Array.blit t.p_fn 0 nfn 0 cap;
+  t.p_fn <- nfn;
+  let ntime = Array.make ncap 0 in
+  Array.blit t.p_time 0 ntime 0 cap;
+  t.p_time <- ntime;
+  let nseq = Array.make ncap 0 in
+  Array.blit t.p_seq 0 nseq 0 cap;
+  t.p_seq <- nseq;
+  let ngen = Array.make ncap 0 in
+  Array.blit t.p_gen 0 ngen 0 cap;
+  t.p_gen <- ngen;
+  let nnext = Array.make ncap (-1) in
+  Array.blit t.p_next 0 nnext 0 cap;
+  t.p_next <- nnext;
+  let nstate = Bytes.make ncap st_free in
+  Bytes.blit t.p_state 0 nstate 0 cap;
+  t.p_state <- nstate;
+  for i = ncap - 1 downto cap do
+    t.p_next.(i) <- t.free_head;
+    t.free_head <- i
+  done
+
+let alloc_slot t =
+  if t.free_head < 0 then grow_pool t;
+  let s = t.free_head in
+  t.free_head <- t.p_next.(s);
+  s
+
+let free_slot t s =
+  t.p_gen.(s) <- t.p_gen.(s) + 1;
+  Bytes.unsafe_set t.p_state s st_free;
+  t.p_fn.(s) <- nop;
+  t.p_next.(s) <- t.free_head;
+  t.free_head <- s
+
+(* ------------------------------ wheel --------------------------------- *)
+
+let bm_set t idx =
+  let w = idx lsr 5 in
+  t.w_bitmap.(w) <- t.w_bitmap.(w) lor (1 lsl (idx land 31))
+
+let bm_clear t idx =
+  let w = idx lsr 5 in
+  t.w_bitmap.(w) <- t.w_bitmap.(w) land lnot (1 lsl (idx land 31))
+
+let rec ctz_loop w n = if w land 1 = 1 then n else ctz_loop (w lsr 1) (n + 1)
+
+let rec scan_words t wi =
+  let w = t.w_bitmap.(wi) in
+  if w <> 0 then (wi lsl 5) lor ctz_loop w 0
+  else scan_words t ((wi + 1) land (bm_words - 1))
+
+(* First non-empty bucket at or after [start], wrapping. Requires at least
+   one occupied bucket. *)
+let bitmap_next t start =
+  let w0 = t.w_bitmap.(start lsr 5) land (-1 lsl (start land 31)) in
+  if w0 <> 0 then ((start lsr 5) lsl 5) lor ctz_loop w0 0
+  else scan_words t (((start lsr 5) + 1) land (bm_words - 1))
+
+let wheel_add t s ~at =
+  let idx = at land wheel_mask in
+  t.p_next.(s) <- -1;
+  if t.w_head.(idx) < 0 then begin
+    t.w_head.(idx) <- s;
+    bm_set t idx
+  end
+  else t.p_next.(t.w_tail.(idx)) <- s;
+  t.w_tail.(idx) <- s;
+  t.w_count <- t.w_count + 1;
+  if t.w_count = 1 || at < t.w_next_time then t.w_next_time <- at
+
+let pop_wheel t =
+  let idx = t.w_next_time land wheel_mask in
+  let s = t.w_head.(idx) in
+  let nxt = t.p_next.(s) in
+  t.w_head.(idx) <- nxt;
+  t.w_count <- t.w_count - 1;
+  if nxt < 0 then begin
+    t.w_tail.(idx) <- -1;
+    bm_clear t idx;
+    if t.w_count = 0 then t.w_next_time <- -1
+    else begin
+      let j = bitmap_next t ((idx + 1) land wheel_mask) in
+      t.w_next_time <- t.p_time.(t.w_head.(j))
+    end
+  end;
+  s
+
+(* --------------------------- scheduling ------------------------------- *)
+
 let schedule_at t ~at fn =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: at=%d < now=%d" at t.clock);
-  let ev = { cancelled = false; fn } in
-  Heap.push t.queue ~time:at ~seq:t.seq ev;
+  let s = alloc_slot t in
+  t.p_fn.(s) <- fn;
+  t.p_time.(s) <- at;
+  t.p_seq.(s) <- t.seq;
   t.seq <- t.seq + 1;
-  ev
+  Bytes.unsafe_set t.p_state s st_pending;
+  if at - t.clock < wheel_size then wheel_add t s ~at
+  else Heap.push t.heap ~time:at ~seq:t.p_seq.(s) s;
+  (t.p_gen.(s) lsl slot_bits) lor s
 
 let schedule t ~delay fn =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(Time.add t.clock delay) fn
 
-let cancel ev = ev.cancelled <- true
-let is_pending ev = not ev.cancelled
+let cancel t h =
+  let s = h land slot_mask in
+  if
+    s < Array.length t.p_gen
+    && t.p_gen.(s) = h lsr slot_bits
+    && Bytes.unsafe_get t.p_state s = st_pending
+  then Bytes.unsafe_set t.p_state s st_cancelled
+
+let is_pending t h =
+  let s = h land slot_mask in
+  s < Array.length t.p_gen
+  && t.p_gen.(s) = h lsr slot_bits
+  && Bytes.unsafe_get t.p_state s = st_pending
+
+(* ---------------------------- execution ------------------------------- *)
+
+(* Pop the globally minimal (time, seq) event across both lanes; -1 when
+   nothing is queued. Cancelled events are popped like live ones (they
+   still advance the clock in [step], exactly as before the pool). *)
+let pop_next t =
+  if t.w_count = 0 then
+    if Heap.is_empty t.heap then -1 else Heap.pop_min t.heap
+  else if Heap.is_empty t.heap then pop_wheel t
+  else begin
+    let wt = t.w_next_time and ht = Heap.min_time t.heap in
+    if wt < ht then pop_wheel t
+    else if ht < wt then Heap.pop_min t.heap
+    else if t.p_seq.(t.w_head.(wt land wheel_mask)) < Heap.min_seq t.heap
+    then pop_wheel t
+    else Heap.pop_min t.heap
+  end
+
+let next_time t =
+  if t.w_count = 0 then
+    if Heap.is_empty t.heap then -1 else Heap.min_time t.heap
+  else if Heap.is_empty t.heap then t.w_next_time
+  else if t.w_next_time <= Heap.min_time t.heap then t.w_next_time
+  else Heap.min_time t.heap
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, _seq, ev) ->
-    t.clock <- time;
-    if not ev.cancelled then begin
-      ev.cancelled <- true;
-      ev.fn ()
-    end;
+  let s = pop_next t in
+  if s < 0 then false
+  else begin
+    t.clock <- t.p_time.(s);
+    let live = Bytes.unsafe_get t.p_state s = st_pending in
+    let fn = t.p_fn.(s) in
+    free_slot t s;
+    if live then fn ();
     true
+  end
 
 let run ?(until = Time.infinity) t =
   let rec loop () =
-    match Heap.peek t.queue with
-    | None -> ()
-    | Some (time, _, _) when time > until -> ()
-    | Some _ ->
+    let nt = next_time t in
+    if nt >= 0 && nt <= until then begin
       ignore (step t);
       loop ()
+    end
   in
   loop ();
   (* Virtual time passes even when nothing is scheduled inside the window:
@@ -63,5 +269,14 @@ let run ?(until = Time.infinity) t =
      periodic event and never reach it. *)
   if until <> Time.infinity && until > t.clock then t.clock <- until
 
-let pending_events t = Heap.size t.queue
-let clear t = Heap.clear t.queue
+let pending_events t = t.w_count + Heap.size t.heap
+
+let clear t =
+  let rec drain () =
+    let s = pop_next t in
+    if s >= 0 then begin
+      free_slot t s;
+      drain ()
+    end
+  in
+  drain ()

@@ -4,12 +4,21 @@
     schedule closures to run at future instants; [run] executes them in
     timestamp order (FIFO among equal timestamps). Timers are cancellable,
     which the overlay protocols use heavily (e.g. NM-Strikes cancels pending
-    retransmission requests when the packet arrives). *)
+    retransmission requests when the packet arrives).
+
+    Events are pooled: slots live in unboxed parallel arrays recycled
+    through a free list, and a timer wheel absorbs the dominant short-delay
+    class, so [schedule]/[cancel] allocate nothing on the steady-state hot
+    path. Handles are generation-counted immediates — cancelling a handle
+    whose event already fired (and whose slot was recycled) is a safe
+    no-op. *)
 
 type t
 
 type handle
-(** A cancellable reference to a scheduled event. *)
+(** A cancellable reference to a scheduled event. Handles are unboxed
+    (plain immediates) and generation-counted: they stay safe to use after
+    the event has fired and its slot was reused. *)
 
 val create : ?seed:int64 -> unit -> t
 (** [create ~seed ()] makes an engine whose root RNG is seeded with [seed]
@@ -29,10 +38,10 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~at f] runs [f] at absolute time [at >= now t]. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
 (** Cancelling an already-fired or already-cancelled event is a no-op. *)
 
-val is_pending : handle -> bool
+val is_pending : t -> handle -> bool
 
 val run : ?until:Time.t -> t -> unit
 (** Executes events until the queue drains or the clock would pass [until]

@@ -1,70 +1,112 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* Binary min-heap on unboxed parallel arrays: the (time, seq) keys live in
+   two int arrays (no per-entry box, cache-friendly compares) and the
+   payloads in a separate value array. Pushing and popping allocate nothing
+   once the arrays have grown to the high-water mark. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create () = { times = [||]; seqs = [||]; vals = [||]; len = 0 }
 
 let is_empty h = h.len = 0
 let size h = h.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow h =
-  let cap = Array.length h.arr in
+(* Grow to hold one more element, using [v] to seed the value array (its
+   slots beyond [len] are stale copies, never read). *)
+let ensure_room h v =
+  let cap = Array.length h.times in
   if h.len = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let narr = Array.make ncap h.arr.(0) in
-    Array.blit h.arr 0 narr 0 h.len;
-    h.arr <- narr
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 in
+    let nv = Array.make ncap v in
+    Array.blit h.times 0 nt 0 h.len;
+    Array.blit h.seqs 0 ns 0 h.len;
+    Array.blit h.vals 0 nv 0 h.len;
+    h.times <- nt;
+    h.seqs <- ns;
+    h.vals <- nv
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h.arr.(i) h.arr.(parent) then begin
-      let tmp = h.arr.(i) in
-      h.arr.(i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
-      sift_up h parent
+let push h ~time ~seq value =
+  ensure_room h value;
+  (* Hole insertion: bubble the hole up, write the new entry once. *)
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if
+      time < h.times.(parent)
+      || (time = h.times.(parent) && seq < h.seqs.(parent))
+    then begin
+      h.times.(!i) <- h.times.(parent);
+      h.seqs.(!i) <- h.seqs.(parent);
+      h.vals.(!i) <- h.vals.(parent);
+      i := parent
     end
-  end
+    else continue := false
+  done;
+  h.times.(!i) <- time;
+  h.seqs.(!i) <- seq;
+  h.vals.(!i) <- value
+
+let min_time h =
+  if h.len = 0 then invalid_arg "Heap.min_time: empty";
+  h.times.(0)
+
+let min_seq h =
+  if h.len = 0 then invalid_arg "Heap.min_seq: empty";
+  h.seqs.(0)
+
+let less h a b =
+  h.times.(a) < h.times.(b)
+  || (h.times.(a) = h.times.(b) && h.seqs.(a) < h.seqs.(b))
+
+let swap h a b =
+  let t = h.times.(a) and s = h.seqs.(a) and v = h.vals.(a) in
+  h.times.(a) <- h.times.(b);
+  h.seqs.(a) <- h.seqs.(b);
+  h.vals.(a) <- h.vals.(b);
+  h.times.(b) <- t;
+  h.seqs.(b) <- s;
+  h.vals.(b) <- v
 
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-  if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if l < h.len && less h l !smallest then smallest := l;
+  if r < h.len && less h r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = h.arr.(i) in
-    h.arr.(i) <- h.arr.(!smallest);
-    h.arr.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
-let push h ~time ~seq value =
-  let e = { time; seq; value } in
-  if h.len = 0 && Array.length h.arr = 0 then h.arr <- Array.make 16 e;
-  grow h;
-  h.arr.(h.len) <- e;
-  h.len <- h.len + 1;
-  sift_up h (h.len - 1)
+(* Remove the minimum and return its value without allocating. *)
+let pop_min h =
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty";
+  let v = h.vals.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.times.(0) <- h.times.(h.len);
+    h.seqs.(0) <- h.seqs.(h.len);
+    h.vals.(0) <- h.vals.(h.len);
+    sift_down h 0
+  end;
+  v
 
 let peek h =
-  if h.len = 0 then None
-  else
-    let e = h.arr.(0) in
-    Some (e.time, e.seq, e.value)
+  if h.len = 0 then None else Some (h.times.(0), h.seqs.(0), h.vals.(0))
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let e = h.arr.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.arr.(0) <- h.arr.(h.len);
-      sift_down h 0
-    end;
-    Some (e.time, e.seq, e.value)
+    let time = h.times.(0) and seq = h.seqs.(0) in
+    let v = pop_min h in
+    Some (time, seq, v)
   end
 
 let clear h = h.len <- 0

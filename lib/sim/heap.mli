@@ -2,7 +2,12 @@
 
     Keys are [(time, sequence)] pairs compared lexicographically; the
     sequence number gives FIFO order among events scheduled for the same
-    instant, which keeps simulations deterministic. *)
+    instant, which keeps simulations deterministic.
+
+    The implementation stores keys in unboxed parallel int arrays and the
+    payloads in a separate value array: no per-entry box is allocated, and
+    {!push}/{!pop_min} are allocation-free once the arrays have reached
+    their high-water capacity. *)
 
 type 'a t
 
@@ -17,5 +22,17 @@ val peek : 'a t -> (int * int * 'a) option
 (** [(time, seq, value)] of the minimum element, without removing it. *)
 
 val pop : 'a t -> (int * int * 'a) option
+
+val min_time : 'a t -> int
+(** Time key of the minimum element, without allocating.
+    @raise Invalid_argument when empty. *)
+
+val min_seq : 'a t -> int
+(** Sequence key of the minimum element, without allocating.
+    @raise Invalid_argument when empty. *)
+
+val pop_min : 'a t -> 'a
+(** Removes the minimum element and returns its value, without allocating.
+    @raise Invalid_argument when empty. *)
 
 val clear : 'a t -> unit

@@ -62,6 +62,26 @@ let to_links t =
   iter t (fun l -> acc := l :: !acc);
   List.rev !acc
 
+(* Valid-bit mask for word [wi]: bits for links >= nlinks are not
+   representable and get silently dropped, matching what a bit-by-bit
+   decode through [set] (which range-checks) would keep. *)
+let word_mask t wi =
+  let valid = t.nlinks - (wi * 64) in
+  if valid >= 64 then -1L
+  else if valid <= 0 then 0L
+  else Int64.sub (Int64.shift_left 1L valid) 1L
+
+let set_word t wi word =
+  if wi < 0 || wi >= Array.length t.w then invalid_arg "Bitmask.set_word";
+  t.w.(wi) <- Int64.logand word (word_mask t wi)
+
+let of_words ~nlinks words =
+  let t = create ~nlinks in
+  if Array.length words <> Array.length t.w then
+    invalid_arg "Bitmask.of_words: word count mismatch";
+  Array.iteri (set_word t) words;
+  t
+
 let words t = Array.copy t.w
 let byte_size t = 8 * Array.length t.w
 

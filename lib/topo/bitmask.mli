@@ -37,6 +37,17 @@ val words : t -> int64 array
 (** Raw words, for sizing/serialization accounting (header bytes =
     8 × words). *)
 
+val of_words : nlinks:int -> int64 array -> t
+(** Rebuilds a mask from raw words (the wire decode path). Bits at or
+    above [nlinks] are silently dropped — exactly what re-setting each
+    in-range bit individually would keep. The array length must equal
+    what {!create} allocates for [nlinks].
+    @raise Invalid_argument on a word-count mismatch. *)
+
+val set_word : t -> int -> int64 -> unit
+(** [set_word t wi word] overwrites 64-bit word [wi] wholesale, dropping
+    bits at or above [nlinks]. *)
+
 val byte_size : t -> int
 (** Bytes this mask occupies in a packet header. *)
 

@@ -164,8 +164,8 @@ let engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~delay:5 (fun () -> fired := true) in
-  Engine.cancel h;
-  check_bool "pending reports cancelled" false (Engine.is_pending h);
+  Engine.cancel e h;
+  check_bool "pending reports cancelled" false (Engine.is_pending e h);
   Engine.run e;
   check_bool "cancelled did not fire" false !fired
 

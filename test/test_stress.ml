@@ -321,6 +321,41 @@ let trace_determinism () =
   let d3, _ = soak 405L in
   check_bool "different seed, different digest" true (d1 <> d3)
 
+(* Drain-order determinism at the engine level: stepping the event queue
+   one event at a time must visit identical timestamps across two runs at
+   the same seed. This pins the (time, seq) tie-break through the pooled
+   wheel/heap engine, below the trace layer — a digest can stay stable by
+   luck while same-time events swap, but the step-by-step clock cannot.
+   The drain is bounded (periodic protocol timers reschedule themselves
+   forever, so an unbounded drain never terminates). *)
+let drain_order_determinism () =
+  let steps = 200 in
+  let trace seed =
+    let engine = Engine.create ~seed () in
+    let net = Strovl.Net.create engine (Gen.us_backbone ()) in
+    Strovl.Net.start net;
+    Strovl.Net.settle net;
+    let tx = Strovl.Client.attach (Strovl.Net.node net 0) ~port:1 in
+    let rx = Strovl.Client.attach (Strovl.Net.node net 8) ~port:2 in
+    Strovl.Client.set_receiver rx ignore;
+    let sender =
+      Strovl.Client.sender tx ~service:P.Reliable ~dest:(P.To_node 8) ~dport:2 ()
+    in
+    ignore
+      (Strovl_apps.Source.start ~engine ~sender ~interval:(Time.ms 20)
+         ~bytes:600 ~count:50 ());
+    let times = Array.make steps (-1) in
+    for i = 0 to steps - 1 do
+      check_bool "events remain" true (Engine.step engine);
+      times.(i) <- Engine.now engine
+    done;
+    times
+  in
+  let t1 = trace 404L in
+  let t2 = trace 404L in
+  check_bool "nondegenerate (clock advances)" true (t1.(0) < t1.(steps - 1));
+  Alcotest.(check (array int)) "identical step-by-step clock" t1 t2
+
 let chaos_respects_partition_guard () =
   (* On a chain every failure partitions: the guard must skip them all. *)
   let engine = Engine.create ~seed:405L () in
@@ -354,6 +389,8 @@ let () =
         [
           Alcotest.test_case "soak: reliable exactly once" `Slow chaos_soak_reliable_exactly_once;
           Alcotest.test_case "trace determinism" `Slow trace_determinism;
+          Alcotest.test_case "drain order determinism" `Quick
+            drain_order_determinism;
           Alcotest.test_case "partition guard" `Quick chaos_respects_partition_guard;
         ] );
     ]

@@ -105,6 +105,32 @@ let size_accounting () =
   let diff = abs (Msg.bytes msg - Wire.size msg) in
   check_bool "analytic estimate close" true (diff <= 32)
 
+let multiword_mask_roundtrip () =
+  (* A mask spanning three 64-bit words, with bits in every word, survives
+     the word-wise encode/decode path exactly. *)
+  let bits = [ 0; 63; 64; 100; 127; 128; 129 ] in
+  let mask = Bitmask.of_links ~nlinks:130 bits in
+  let pkt = sample_packet ~routing:(P.Source_mask mask) () in
+  let msg = Msg.Data { cls = 0; lseq = 1; pkt; auth = None } in
+  (match roundtrip msg with
+  | Msg.Data { pkt = p; _ } -> (
+    match p.P.routing with
+    | P.Source_mask m ->
+      check_bool "mask equal" true (Bitmask.equal m mask);
+      check_int "links preserved" (List.length bits) (Bitmask.count m)
+    | P.Link_state -> Alcotest.fail "routing kind changed")
+  | _ -> Alcotest.fail "message kind changed");
+  (* of_words mirrors words, and drops bits at or above nlinks. *)
+  let rebuilt = Bitmask.of_words ~nlinks:130 (Bitmask.words mask) in
+  check_bool "of_words inverse of words" true (Bitmask.equal rebuilt mask);
+  let dirty = Bitmask.create ~nlinks:70 in
+  Bitmask.set_word dirty 1 (-1L) (* bits 64..127, only 64..69 valid *);
+  check_int "set_word drops high bits" 6 (Bitmask.count dirty);
+  check_bool "word count mismatch rejected" true
+    (match Bitmask.of_words ~nlinks:130 [| 0L |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let hostile_inputs_rejected () =
   let bad s =
     match Wire.decode s with Ok _ -> false | Error _ -> true
@@ -118,7 +144,14 @@ let hostile_inputs_rejected () =
   check_bool "trailing bytes" true (bad (good ^ "x"));
   (* Oversized bitmask word count. *)
   check_bool "oversized mask" true
-    (bad "\x01\x00\x00\x00\x00\x01\x00\x00\x03\x00\x10\x00\x00\x00\x00\x01\x00\x00\x00\x02\x01\xff\xff")
+    (bad "\x01\x00\x00\x00\x00\x01\x00\x00\x03\x00\x10\x00\x00\x00\x00\x01\x00\x00\x00\x02\x01\xff\xff");
+  (* A list whose claimed element count exceeds the bytes remaining in the
+     buffer must be rejected up front, not by allocating 65535 cells and
+     failing mid-read: Link_nack claiming 0xffff missing seqs with a 3-byte
+     body, and an Lsu likewise. *)
+  check_bool "nack list count beyond buffer" true (bad "\x03\x01\xff\xff\x00\x00\x00");
+  check_bool "lsu list count beyond buffer" true
+    (bad "\x08\x00\x04\x00\x00\x00\x0c\xff\xff\x00")
 
 let corrupted_bytes_never_raise () =
   (* Flipping any single byte of a valid message must yield Ok or Error,
@@ -267,6 +300,11 @@ let qcheck_roundtrip =
     (QCheck.make gen_msg)
     (fun msg -> Wire.decode (Wire.encode msg) = Ok msg)
 
+let analytic_header_size =
+  QCheck.Test.make ~name:"header_size matches encode length" ~count:500
+    (QCheck.make gen_msg)
+    (fun msg -> Wire.header_size msg = String.length (Wire.encode msg))
+
 let () =
   Alcotest.run "strovl_wire"
     [
@@ -276,11 +314,13 @@ let () =
           Alcotest.test_case "control messages" `Quick control_roundtrips;
           Alcotest.test_case "service variants" `Quick service_variants_roundtrip;
           Alcotest.test_case "dest variants" `Quick dest_variants_roundtrip;
+          Alcotest.test_case "multi-word bitmask" `Quick multiword_mask_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_roundtrip;
         ] );
       ( "robustness",
         [
           Alcotest.test_case "size accounting" `Quick size_accounting;
+          QCheck_alcotest.to_alcotest analytic_header_size;
           Alcotest.test_case "hostile inputs" `Quick hostile_inputs_rejected;
           Alcotest.test_case "corruption fuzz" `Quick corrupted_bytes_never_raise;
         ] );
