@@ -10,6 +10,9 @@
 
    Usage: dune exec bench/main.exe            (full: a few minutes)
           dune exec bench/main.exe -- --quick (reduced sweeps)
+          dune exec bench/main.exe -- -j N    (experiment tables on N domains;
+                      the Bechamel microbenches stay pinned to this domain —
+                      timing runs must not share cores with sibling work)
           dune exec bench/main.exe -- --json FILE
                       (also dump the microbench estimates as JSON, same
                        schema family as bench/throughput.exe's BENCH.json) *)
@@ -169,21 +172,43 @@ let write_json path estimates =
 let () =
   let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv in
   let json_path = ref None in
+  let jobs = ref 1 in
   Array.iteri
     (fun i a ->
       if a = "--json" && i + 1 < Array.length Sys.argv then
-        json_path := Some Sys.argv.(i + 1))
+        json_path := Some Sys.argv.(i + 1);
+      if (a = "-j" || a = "--jobs") && i + 1 < Array.length Sys.argv then
+        jobs := max 1 (int_of_string Sys.argv.(i + 1)))
     Sys.argv;
   let seed = 7L in
+  (* Microbenchmarks always run here, alone, before any worker domain
+     exists: a timing loop sharing its core with sibling experiments would
+     measure the scheduler, not the code. *)
   let estimates = run_microbenches () in
   (match !json_path with
   | None -> ()
   | Some path -> write_json path estimates);
   if quick then print_endline "(quick mode: reduced packet counts and sweeps)";
-  List.iter
-    (fun (e : Strovl_expt.experiment) ->
-      let t0 = Unix.gettimeofday () in
-      let table = e.Strovl_expt.run ~quick ~seed () in
-      Strovl_expt.Table.print Format.std_formatter table;
-      Format.printf "  (generated in %.1fs)@.@." (Unix.gettimeofday () -. t0))
-    Strovl_expt.all
+  if !jobs <= 1 then
+    List.iter
+      (fun (e : Strovl_expt.experiment) ->
+        let t0 = Unix.gettimeofday () in
+        let table, _ = Strovl_expt.run_isolated ~quick ~seed e in
+        Strovl_expt.Table.print Format.std_formatter table;
+        Format.printf "  (generated in %.1fs)@.@." (Unix.gettimeofday () -. t0))
+      Strovl_expt.all
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Strovl_expt.run_many ~jobs:!jobs ~quick ~seed Strovl_expt.all in
+    List.iteri
+      (fun i (e : Strovl_expt.experiment) ->
+        match outcomes.(i) with
+        | Strovl_par.Pool.Done (table, _) ->
+          Strovl_expt.Table.print Format.std_formatter table
+        | Strovl_par.Pool.Failed { exn; _ } ->
+          Format.printf "@.== %s: FAILED: %s ==@." e.Strovl_expt.id exn)
+      Strovl_expt.all;
+    Format.printf "  (suite generated in %.1fs with -j %d)@.@."
+      (Unix.gettimeofday () -. t0)
+      !jobs
+  end

@@ -141,7 +141,14 @@ let geo_50 ~quick () =
 
 (* The 4-hop SEA->MIA forward path, wall-clock per packet — the same
    fixture as bench/main.exe's "forward-path-SEA-MIA-4hops" microbench and
-   bench/smoke_overhead.exe's gate, so the three stay comparable. *)
+   bench/smoke_overhead.exe's gate, so the three stay comparable.
+
+   Measured as the best of several blocks after a [Gc.compact]: this
+   benchmark runs after two 16-virtual-second scenario churns, and a single
+   timed block right after that inherits their major-heap shape and pending
+   GC debt — which once showed up as a phantom ~20% "regression" that no
+   standalone run of the same fixture could reproduce. Min-of-blocks on a
+   compacted heap measures the code, not the allocator history. *)
 let forward_path_ns ~quick () =
   let engine = Engine.create () in
   let config =
@@ -167,15 +174,63 @@ let forward_path_ns ~quick () =
   for _ = 1 to 1000 do
     one_packet ()
   done;
-  let iters = if quick then 10_000 else 50_000 in
-  let minor0 = Gc.minor_words () in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to iters do
-    one_packet ()
+  Gc.compact ();
+  let iters = if quick then 5_000 else 10_000 in
+  let blocks = 5 in
+  let best_ns = ref infinity in
+  let total_words = ref 0. in
+  for _ = 1 to blocks do
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      one_packet ()
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
+    total_words := !total_words +. (Gc.minor_words () -. minor0);
+    if ns < !best_ns then best_ns := ns
   done;
-  let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters in
-  let words = (Gc.minor_words () -. minor0) /. float_of_int iters in
-  (ns, words)
+  (!best_ns, !total_words /. float_of_int (blocks * iters))
+
+(* ------------------------- parallel sweep wall ------------------------ *)
+
+(* Wall-clock of the quick experiment suite, sequential vs fanned over the
+   domain pool: the end-to-end payoff of `strovl_run run all -j N`. Both
+   passes go through the same Pool.map claim loop and per-run isolation
+   (only the domain count differs), so the ratio isolates scheduling. The
+   core count is recorded because the achievable speedup is bounded by it —
+   on a single-core host the honest expectation is ~1.0x. *)
+type sweep = {
+  s_seq_wall : float;
+  s_par_wall : float;
+  s_jobs : int;
+  s_cores : int;
+  s_speedup : float;
+}
+
+let sweep_wall () =
+  let seed = 7L in
+  let time_suite jobs =
+    let t0 = Unix.gettimeofday () in
+    let outcomes = Strovl_expt.run_many ~jobs ~quick:true ~seed Strovl_expt.all in
+    Array.iter
+      (function
+        | Strovl_par.Pool.Done _ -> ()
+        | Strovl_par.Pool.Failed { exn; _ } ->
+          Printf.eprintf "sweep-wall: experiment failed: %s\n" exn)
+      outcomes;
+    Unix.gettimeofday () -. t0
+  in
+  let cores = Strovl_par.Pool.default_jobs () in
+  let jobs = max 2 cores in
+  let seq = time_suite 1 in
+  let par = time_suite jobs in
+  {
+    s_seq_wall = seq;
+    s_par_wall = par;
+    s_jobs = jobs;
+    s_cores = cores;
+    s_speedup = (if par <= 0. then 0. else seq /. par);
+  }
 
 (* ------------------------------- output ------------------------------- *)
 
@@ -202,7 +257,14 @@ let baseline_json =
    \"minor_words_per_op\": 713.0 }\n\
   \  },\n"
 
-let json_of_results results (fwd_ns, fwd_words) =
+let print_sweep s =
+  Printf.printf
+    "%-24s %9.2fx speedup  (seq %.2fs, par %.2fs with -j %d on %d core%s)\n"
+    "sweep-wall-quick-suite" s.s_speedup s.s_seq_wall s.s_par_wall s.s_jobs
+    s.s_cores
+    (if s.s_cores = 1 then "" else "s")
+
+let json_of_results results (fwd_ns, fwd_words) sweep =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"strovl-bench-v1\",\n";
   Buffer.add_string b baseline_json;
@@ -220,8 +282,15 @@ let json_of_results results (fwd_ns, fwd_words) =
   Buffer.add_string b
     (Printf.sprintf
        "    \"forward-path-SEA-MIA-4hops\": { \"ns_per_op\": %.0f, \
-        \"minor_words_per_op\": %.1f }\n"
+        \"minor_words_per_op\": %.1f },\n"
        fwd_ns fwd_words);
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"sweep-wall-quick-suite\": { \"seq_wall_s\": %.3f, \
+        \"par_wall_s\": %.3f, \"jobs\": %d, \"cores\": %d, \
+        \"speedup\": %.2f }\n"
+       sweep.s_seq_wall sweep.s_par_wall sweep.s_jobs sweep.s_cores
+       sweep.s_speedup);
   Buffer.add_string b "  }\n}\n";
   Buffer.contents b
 
@@ -238,10 +307,12 @@ let () =
   let ((fwd_ns, fwd_words) as fwd) = forward_path_ns ~quick () in
   Printf.printf "%-24s %10.1f ns/op   (%.1f minor words/op)\n"
     "forward-path-4hops" fwd_ns fwd_words;
+  let sweep = sweep_wall () in
+  print_sweep sweep;
   match !json_path with
   | None -> ()
   | Some path ->
     let oc = open_out path in
-    output_string oc (json_of_results results fwd);
+    output_string oc (json_of_results results fwd sweep);
     close_out oc;
     Printf.printf "wrote %s\n" path

@@ -1,14 +1,24 @@
 (* Command-line experiment runner: lists and executes the paper-reproduction
-   experiments individually (the bench binary runs them all). *)
+   experiments individually, fans them over a domain pool with [-j], and
+   sweeps one experiment across a seed range. Each run executes in a fresh
+   per-run observability context (Strovl_obs.Ctx), so [-j 1] and [-j N]
+   produce byte-identical output. *)
 
 open Cmdliner
 
-let run_experiments ids quick seed json =
+let report_outcome ~what = function
+  | Strovl_par.Pool.Done v -> Some v
+  | Strovl_par.Pool.Failed { exn; backtrace } ->
+    Printf.eprintf "%s failed: %s\n" what exn;
+    if backtrace <> "" then prerr_string backtrace;
+    None
+
+let run_experiments ids quick seed json jobs =
   let unknown = ref false in
   let targets =
-    match ids with
-    | [] -> Strovl_expt.all
-    | ids ->
+    (* [all] (or no ids) selects the whole catalogue in paper order. *)
+    if ids = [] || List.mem "all" ids then Strovl_expt.all
+    else
       List.filter_map
         (fun id ->
           match Strovl_expt.find id with
@@ -19,22 +29,97 @@ let run_experiments ids quick seed json =
             None)
         ids
   in
-  List.iter
-    (fun (e : Strovl_expt.experiment) ->
-      let table = e.Strovl_expt.run ~quick ~seed () in
-      if json then print_endline (Strovl_expt.Table.to_json table)
-      else Strovl_expt.Table.print Format.std_formatter table)
+  let outcomes = Strovl_expt.run_many ~jobs ~quick ~seed targets in
+  let failed = ref false in
+  (* Outcomes come back in input order; printing happens here, on the main
+     domain only, so the catalogue renders identically for every [-j]. *)
+  List.iteri
+    (fun i (e : Strovl_expt.experiment) ->
+      match report_outcome ~what:("experiment " ^ e.id) outcomes.(i) with
+      | None -> failed := true
+      | Some (table, _digest) ->
+        if json then print_endline (Strovl_expt.Table.to_json table)
+        else Strovl_expt.Table.print Format.std_formatter table)
     targets;
   (* Any unknown id is a failure even when other ids ran: callers scripting
      the runner must not mistake a typo for a clean pass. *)
-  if !unknown then 1 else 0
+  if !unknown || !failed then 1 else 0
+
+(* "a..b" (inclusive), "a,b,c", or a single seed. *)
+let parse_seeds s =
+  let int64 x = Int64.of_string_opt (String.trim x) in
+  match String.index_opt s '.' with
+  | Some i
+    when i + 1 < String.length s
+         && s.[i + 1] = '.'
+         && (not (String.contains s ',')) -> begin
+    match (int64 (String.sub s 0 i), int64 (String.sub s (i + 2) (String.length s - i - 2))) with
+    | Some a, Some b when a <= b ->
+      let n = Int64.to_int (Int64.sub b a) + 1 in
+      if n > 10_000 then None
+      else Some (List.init n (fun k -> Int64.add a (Int64.of_int k)))
+    | _ -> None
+  end
+  | _ ->
+    let parts = String.split_on_char ',' s in
+    let seeds = List.filter_map int64 parts in
+    if List.length seeds = List.length parts && seeds <> [] then Some seeds
+    else None
+
+let sweep_experiment id seeds_spec quick json jobs per_seed =
+  match Strovl_expt.find id with
+  | None ->
+    Printf.eprintf "unknown experiment: %s (try `list`)\n" id;
+    1
+  | Some e -> begin
+    match parse_seeds seeds_spec with
+    | None ->
+      Printf.eprintf "bad --seeds %S (want a..b, a,b,c or a single seed)\n"
+        seeds_spec;
+      1
+    | Some seeds ->
+      let outcomes = Strovl_expt.sweep ~jobs ~quick e ~seeds in
+      let tables = ref [] in
+      let failed = ref false in
+      List.iteri
+        (fun i seed ->
+          match
+            report_outcome
+              ~what:(Printf.sprintf "experiment %s (seed %Ld)" id seed)
+              outcomes.(i)
+          with
+          | None -> failed := true
+          | Some t -> tables := t :: !tables)
+        seeds;
+      let tables = List.rev !tables in
+      if !failed || tables = [] then 1
+      else begin
+        let print t =
+          if json then print_endline (Strovl_expt.Table.to_json t)
+          else Strovl_expt.Table.print Format.std_formatter t
+        in
+        if per_seed then List.iter print tables;
+        let agg = Strovl_expt.Table.aggregate tables in
+        print
+          {
+            agg with
+            Strovl_expt.Table.notes =
+              agg.Strovl_expt.Table.notes
+              @ [ Printf.sprintf "seeds: %s" seeds_spec ];
+          };
+        0
+      end
+  end
 
 let list_experiments () =
   Strovl_expt.print_list ();
   0
 
 let ids =
-  let doc = "Experiment ids to run (default: all). Use the list command to enumerate." in
+  let doc =
+    "Experiment ids to run (default: all; the pseudo-id $(b,all) also \
+     selects every experiment). Use the list command to enumerate."
+  in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let quick =
@@ -49,11 +134,42 @@ let json =
   let doc = "Emit each result table as one JSON object per line." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let jobs =
+  let doc =
+    "Run up to $(docv) experiments concurrently on separate domains. Each \
+     run gets a fresh observability context, so output is byte-identical \
+     for every value of $(docv)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let run_cmd =
   let doc = "run paper-reproduction experiments" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run_experiments $ ids $ quick $ seed $ json)
+    Term.(const run_experiments $ ids $ quick $ seed $ json $ jobs)
+
+let sweep_id =
+  let doc = "Experiment id to sweep." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+
+let seeds_spec =
+  let doc = "Seeds to sweep: $(b,a..b) (inclusive), $(b,a,b,c) or one seed." in
+  Arg.(value & opt string "1..8" & info [ "seeds" ] ~docv:"SPEC" ~doc)
+
+let per_seed =
+  let doc = "Also print each per-seed table before the aggregate." in
+  Arg.(value & flag & info [ "per-seed" ] ~doc)
+
+let sweep_cmd =
+  let doc =
+    "run one experiment across a seed range and aggregate the tables \
+     (per-row mean/min/max)"
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const sweep_experiment $ sweep_id $ seeds_spec $ quick $ json $ jobs
+      $ per_seed)
 
 let list_cmd =
   let doc = "list available experiments" in
@@ -61,8 +177,9 @@ let list_cmd =
 
 let main =
   let doc = "structured overlay network experiments (Babay et al., ICDCS 2017)" in
-  Cmd.group ~default:Term.(const run_experiments $ ids $ quick $ seed $ json)
+  Cmd.group
+    ~default:Term.(const run_experiments $ ids $ quick $ seed $ json $ jobs)
     (Cmd.info "strovl_run" ~doc)
-    [ run_cmd; list_cmd ]
+    [ run_cmd; sweep_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

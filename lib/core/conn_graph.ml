@@ -12,6 +12,9 @@ type t = {
   mutable my_seq : int;
   mutable version : int;
   mutable effective : bool; (* weight = loss-inflated metric *)
+  (* Domain-local metric handles, bound at [create] time (Strovl_obs.Ctx). *)
+  m_link_changes : Strovl_obs.Metrics.Counter.t;
+  m_lsu_applied : Strovl_obs.Metrics.Counter.t;
 }
 
 let side_index g link node =
@@ -34,6 +37,9 @@ let create ~self g ~metric =
     my_seq = 0;
     version = 0;
     effective = false;
+    m_link_changes =
+      Strovl_obs.Metrics.counter "strovl_link_state_changes_total";
+    m_lsu_applied = Strovl_obs.Metrics.counter "strovl_lsu_applied_total";
   }
 
 let self t = t.self
@@ -74,19 +80,14 @@ let make_lsu t =
   t.my_seq <- t.my_seq + 1;
   Msg.Lsu { origin = t.self; lsu_seq = t.my_seq; links = my_links_info t; auth = None }
 
-let m_link_changes =
-  Strovl_obs.Metrics.counter "strovl_link_state_changes_total"
-
-let m_lsu_applied = Strovl_obs.Metrics.counter "strovl_lsu_applied_total"
-
 let set_local t ~link ~up =
   let s = t.sides.(link).(side_index t.g link t.self) in
   if s.up = up then None
   else begin
     s.up <- up;
     t.version <- t.version + 1;
-    Strovl_obs.Metrics.Counter.incr m_link_changes;
-    if !Strovl_obs.Trace.on then
+    Strovl_obs.Metrics.Counter.incr t.m_link_changes;
+    if Strovl_obs.Trace.armed () then
       Strovl_obs.Trace.emit ~node:t.self (Strovl_obs.Trace.Reroute (link, up));
     Some (make_lsu t)
   end
@@ -153,11 +154,11 @@ let apply_lsu t ~origin ~lsu_seq links =
       links;
     if !changed then begin
       t.version <- t.version + 1;
-      Strovl_obs.Metrics.Counter.incr m_lsu_applied
+      Strovl_obs.Metrics.Counter.incr t.m_lsu_applied
     end;
     (* A fresher LSU was accepted (seq advanced), whether or not any side
        changed: the auditor uses this to bound reroute propagation. *)
-    if !Strovl_obs.Trace.on then
+    if Strovl_obs.Trace.armed () then
       Strovl_obs.Trace.emit ~node:t.self (Strovl_obs.Trace.Lsu_apply origin);
     true
   end

@@ -32,12 +32,8 @@ type t = {
   blocks : (int, block_state) Hashtbl.t;
   mutable n_recovered : int;
   mutable n_up : int;
+  m_recovered : Strovl_obs.Metrics.Counter.t;
 }
-
-let m_recovered =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "fec") ]
-    "strovl_fec_recovered_total"
 
 let create ?(config = default_config) ctx =
   if config.k < 1 || config.r < 1 then invalid_arg "Fec_link: k and r must be >= 1";
@@ -58,6 +54,10 @@ let create ?(config = default_config) ctx =
     blocks = Hashtbl.create 8;
     n_recovered = 0;
     n_up = 0;
+    m_recovered =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "fec") ]
+        "strovl_fec_recovered_total";
   }
 
 (* ------------------------------ sender ------------------------------- *)
@@ -154,7 +154,7 @@ let try_decode t base bs =
           if not (is_seen t lseq) then begin
             Hashtbl.replace t.seen lseq ();
             t.n_recovered <- t.n_recovered + 1;
-            Strovl_obs.Metrics.Counter.incr m_recovered;
+            Strovl_obs.Metrics.Counter.incr t.m_recovered;
             Lproto.trace_pkt t.ctx bs.bs_pkts.(i) (Strovl_obs.Trace.Fec_recover t.ctx.Lproto.link);
             deliver t bs.bs_pkts.(i)
           end)

@@ -20,12 +20,8 @@ type t = {
   dropped : (int, int) Hashtbl.t;
   mutable n_sent : int;
   mutable n_dropped : int;
+  m_evicted : Strovl_obs.Metrics.Counter.t;
 }
-
-let m_evicted =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "it-priority") ]
-    "strovl_link_queue_drops_total"
 
 let create ?(config = default_config) ctx =
   {
@@ -40,6 +36,10 @@ let create ?(config = default_config) ctx =
     dropped = Hashtbl.create 16;
     n_sent = 0;
     n_dropped = 0;
+    m_evicted =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "it-priority") ]
+        "strovl_link_queue_drops_total";
   }
 
 let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -84,7 +84,7 @@ let evict_oldest_lowest t q =
     | Some p ->
       t.n_dropped <- t.n_dropped + 1;
       bump t.dropped (source_of p);
-      Strovl_obs.Metrics.Counter.incr m_evicted;
+      Strovl_obs.Metrics.Counter.incr t.m_evicted;
       Lproto.trace_pkt t.ctx p (Strovl_obs.Trace.Drop Strovl_obs.Trace.Priority_evict)
     | None -> ())
 

@@ -32,12 +32,8 @@ type t = {
   sent : (int, int) Hashtbl.t;
   mutable n_retrans : int;
   mutable n_acked : int;
+  m_retrans : Strovl_obs.Metrics.Counter.t;
 }
-
-let m_retrans =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "it-reliable") ]
-    "strovl_link_retransmits_total"
 
 let create ?(config = default_config) ctx =
   {
@@ -53,6 +49,10 @@ let create ?(config = default_config) ctx =
     sent = Hashtbl.create 16;
     n_retrans = 0;
     n_acked = 0;
+    m_retrans =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "it-reliable") ]
+        "strovl_link_retransmits_total";
   }
 
 let base_rto t =
@@ -88,7 +88,7 @@ let rec transmit t flow e =
   end
   else begin
     t.n_retrans <- t.n_retrans + 1;
-    Strovl_obs.Metrics.Counter.incr m_retrans;
+    Strovl_obs.Metrics.Counter.incr t.m_retrans;
     Lproto.trace_pkt t.ctx e.e_pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link)
   end;
   Hashtbl.replace t.by_lseq e.e_lseq (flow, e);

@@ -26,13 +26,13 @@ type ctx = {
 (** Flight-recorder helpers: guard first so the disabled path costs one
     dereference and no allocation. *)
 let trace_pkt ctx pkt ev =
-  if !Strovl_obs.Trace.on then
+  if Strovl_obs.Trace.armed () then
     Strovl_obs.Trace.emit
       ~flow:(Packet.obs_flow pkt.Packet.flow)
       ~seq:pkt.Packet.seq ~node:ctx.node ev
 
 let trace ctx ev =
-  if !Strovl_obs.Trace.on then Strovl_obs.Trace.emit ~node:ctx.node ev
+  if Strovl_obs.Trace.armed () then Strovl_obs.Trace.emit ~node:ctx.node ev
 
 (** Serialization time of [bytes] at the context's bandwidth (µs, ≥1). *)
 let tx_time ctx bytes =

@@ -36,10 +36,8 @@ type t = {
   last_rotation : Time.t array;
   taps : tap option array;
   cfg : config;
+  m_isp_rotations : Strovl_obs.Metrics.Counter.t;
 }
-
-let m_isp_rotations =
-  Strovl_obs.Metrics.counter "strovl_isp_rotations_total"
 
 let pick_isp spec underlay ~a ~b =
   (* Prefer the lowest-numbered ISP that can connect the endpoints. *)
@@ -98,6 +96,7 @@ let create ?(config = default_config) ?underlay engine spec =
       last_rotation = Array.make nlinks Time.zero;
       taps = Array.make (Graph.n graph) None;
       cfg = config;
+      m_isp_rotations = Strovl_obs.Metrics.counter "strovl_isp_rotations_total";
     }
   in
   (* Wire each endpoint of each overlay link to its node, routing every
@@ -158,7 +157,7 @@ let create ?(config = default_config) ?underlay engine spec =
             let cur = Link.current_isp link in
             let nisps = spec.Gen.nisps in
             if nisps > 1 then begin
-              Strovl_obs.Metrics.Counter.incr m_isp_rotations;
+              Strovl_obs.Metrics.Counter.incr t.m_isp_rotations;
               Link.set_isp link ((cur + 1) mod nisps)
             end
           end))

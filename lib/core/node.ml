@@ -42,29 +42,50 @@ let default_config =
     probe_routing = false;
   }
 
-(* Observability: process-wide labelled metrics (always-available twins of
-   the per-node [counters]) and flight-recorder events. Handles are created
-   once at module init; hot-path updates are O(1). *)
+(* Observability: domain-local labelled metrics (always-available twins of
+   the per-node [counters]) and flight-recorder events. Handles live in the
+   node record and are looked up at [create] time, so they always belong to
+   the run's own registry (registries are purged between pool-scheduled
+   runs; see {!Strovl_obs.Ctx}). All nodes of one run share the same
+   handles via get-or-create, and hot-path updates stay O(1). *)
 module Obs = Strovl_obs.Trace
 module Om = Strovl_obs.Metrics
 
-let m_forwarded = Om.counter "strovl_node_forwarded_total"
-let m_delivered = Om.counter "strovl_node_delivered_total"
-let m_enqueued = Om.counter "strovl_node_enqueued_total"
-let m_lsu_floods = Om.counter "strovl_lsu_floods_total"
-let m_group_floods = Om.counter "strovl_group_floods_total"
-let m_delivery_latency = Om.histogram "strovl_delivery_latency_us"
+type metrics = {
+  m_forwarded : Om.Counter.t;
+  m_delivered : Om.Counter.t;
+  m_enqueued : Om.Counter.t;
+  m_lsu_floods : Om.Counter.t;
+  m_group_floods : Om.Counter.t;
+  m_delivery_latency : Om.Histogram.t;
+  m_drop_no_route : Om.Counter.t;
+  m_drop_ttl : Om.Counter.t;
+  m_drop_auth : Om.Counter.t;
+  m_drop_dup : Om.Counter.t;
+  m_drop_backpressure : Om.Counter.t;
+  m_drop_overload : Om.Counter.t;
+}
 
-let m_drop reason =
-  Om.counter ~labels:[ ("reason", Obs.reason_to_string reason) ]
-    "strovl_node_dropped_total"
-
-let m_drop_no_route = m_drop Obs.No_route
-let m_drop_ttl = m_drop Obs.Ttl
-let m_drop_auth = m_drop Obs.Auth
-let m_drop_dup = m_drop Obs.Dup
-let m_drop_backpressure = m_drop Obs.Backpressure
-let m_drop_overload = m_drop Obs.Overload
+let make_metrics () =
+  let m_drop reason =
+    Om.counter
+      ~labels:[ ("reason", Obs.reason_to_string reason) ]
+      "strovl_node_dropped_total"
+  in
+  {
+    m_forwarded = Om.counter "strovl_node_forwarded_total";
+    m_delivered = Om.counter "strovl_node_delivered_total";
+    m_enqueued = Om.counter "strovl_node_enqueued_total";
+    m_lsu_floods = Om.counter "strovl_lsu_floods_total";
+    m_group_floods = Om.counter "strovl_group_floods_total";
+    m_delivery_latency = Om.histogram "strovl_delivery_latency_us";
+    m_drop_no_route = m_drop Obs.No_route;
+    m_drop_ttl = m_drop Obs.Ttl;
+    m_drop_auth = m_drop Obs.Auth;
+    m_drop_dup = m_drop Obs.Dup;
+    m_drop_backpressure = m_drop Obs.Backpressure;
+    m_drop_overload = m_drop Obs.Overload;
+  }
 
 type counters = {
   mutable forwarded : int;
@@ -129,6 +150,7 @@ type t = {
   sessions : (int, Packet.t -> unit) Hashtbl.t; (* by port *)
   dedup : Dedup.t;
   ctrs : counters;
+  om : metrics;
   mutable suspect_hook : int -> unit;
   mutable started : bool;
   mutable cpu_busy_until : Time.t; (* finite-capacity CPU server (§II-D) *)
@@ -142,14 +164,14 @@ type t = {
    names the packet so the causal path shows where and why it died. *)
 let note_drop t pkt reason mctr =
   Om.Counter.incr mctr;
-  if !Strovl_obs.Series.on then Strovl_obs.Series.incr t.s_dropped;
-  if !Obs.on then
+  if Strovl_obs.Series.armed () then Strovl_obs.Series.incr t.s_dropped;
+  if Obs.armed () then
     Obs.emit
       ~flow:(Packet.obs_flow pkt.Packet.flow)
       ~seq:pkt.Packet.seq ~node:t.id (Obs.Drop reason)
 
 let trace_pkt t pkt ev =
-  if !Obs.on then
+  if Obs.armed () then
     Obs.emit
       ~flow:(Packet.obs_flow pkt.Packet.flow)
       ~seq:pkt.Packet.seq ~node:t.id ev
@@ -175,6 +197,7 @@ let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
     out_busy = false;
     sessions = Hashtbl.create 8;
     dedup = Dedup.create ();
+    om = make_metrics ();
     ctrs =
       {
         forwarded = 0;
@@ -270,11 +293,11 @@ let flood_local_update t msg_opt =
     (match msg with
     | Msg.Lsu _ ->
       t.ctrs.lsu_floods <- t.ctrs.lsu_floods + 1;
-      Om.Counter.incr m_lsu_floods;
-      if !Obs.on then Obs.emit ~node:t.id Obs.Lsu_flood
+      Om.Counter.incr t.om.m_lsu_floods;
+      if Obs.armed () then Obs.emit ~node:t.id Obs.Lsu_flood
     | Msg.Group_update _ ->
       t.ctrs.group_floods <- t.ctrs.group_floods + 1;
-      Om.Counter.incr m_group_floods
+      Om.Counter.incr t.om.m_group_floods
     | _ -> ());
     flood t (sign_flood t msg)
 
@@ -287,10 +310,10 @@ let deliver_local t pkt ~port =
   | exception Not_found -> ()
   | deliver ->
     t.ctrs.delivered <- t.ctrs.delivered + 1;
-    Om.Counter.incr m_delivered;
-    Om.Histogram.observe m_delivery_latency
+    Om.Counter.incr t.om.m_delivered;
+    Om.Histogram.observe t.om.m_delivery_latency
       (Time.sub (Engine.now t.engine) pkt.Packet.sent_at);
-    if !Strovl_obs.Series.on then begin
+    if Strovl_obs.Series.armed () then begin
       Strovl_obs.Series.incr t.s_delivered;
       let ch =
         match Hashtbl.find_opt t.s_flow_delivered pkt.Packet.flow with
@@ -363,7 +386,7 @@ let collect_outs t pkt ~from_link buf =
         1
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
-        note_drop t pkt Obs.No_route m_drop_no_route;
+        note_drop t pkt Obs.No_route t.om.m_drop_no_route;
         0
     end
   in
@@ -395,7 +418,7 @@ let collect_outs t pkt ~from_link buf =
       | Some _ -> 0
       | None ->
         t.ctrs.dropped_no_route <- t.ctrs.dropped_no_route + 1;
-        note_drop t pkt Obs.No_route m_drop_no_route;
+        note_drop t pkt Obs.No_route t.om.m_drop_no_route;
         0
     end
   end
@@ -446,8 +469,8 @@ let charge_cpu t work =
     let start = Time.max now t.cpu_busy_until in
     if Time.sub start now > t.cfg.cpu_queue then begin
       t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1;
-      Om.Counter.incr m_drop_overload;
-      if !Obs.on then Obs.emit ~node:t.id (Obs.Drop Obs.Overload)
+      Om.Counter.incr t.om.m_drop_overload;
+      if Obs.armed () then Obs.emit ~node:t.id (Obs.Drop Obs.Overload)
     end
     else begin
       t.cpu_busy_until <- Time.add start service;
@@ -464,8 +487,8 @@ let cpu_admit t =
     let start = Time.max now t.cpu_busy_until in
     if Time.sub start now > t.cfg.cpu_queue then begin
       t.ctrs.dropped_overload <- t.ctrs.dropped_overload + 1;
-      Om.Counter.incr m_drop_overload;
-      if !Obs.on then Obs.emit ~node:t.id (Obs.Drop Obs.Overload);
+      Om.Counter.incr t.om.m_drop_overload;
+      if Obs.armed () then Obs.emit ~node:t.id (Obs.Drop Obs.Overload);
       false
     end
     else begin
@@ -517,7 +540,7 @@ let rec get_proto t ep cls =
    across the fan-out (the packet record is immutable). *)
 and send_prepped t ep pkt =
   t.ctrs.forwarded <- t.ctrs.forwarded + 1;
-  Om.Counter.incr m_forwarded;
+  Om.Counter.incr t.om.m_forwarded;
   trace_pkt t pkt
     (if pkt.Packet.replay then Obs.Forward_replay ep.ep_link
      else Obs.Forward ep.ep_link);
@@ -530,7 +553,7 @@ and send_prepped t ep pkt =
     (* Callers check capacity first via try_accept/originate. *)
     if not (It_reliable.offer p pkt) then begin
       t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
-      note_drop t pkt Obs.Backpressure m_drop_backpressure
+      note_drop t pkt Obs.Backpressure t.om.m_drop_backpressure
     end
   | P_fec p -> Fec_link.send p pkt
 
@@ -561,11 +584,11 @@ and needs_dedup pkt =
 and forward t ~from_link pkt =
   if pkt.Packet.hops >= Packet.max_hops then begin
     t.ctrs.dropped_ttl <- t.ctrs.dropped_ttl + 1;
-    note_drop t pkt Obs.Ttl m_drop_ttl
+    note_drop t pkt Obs.Ttl t.om.m_drop_ttl
   end
   else if not (auth_ok t pkt) then begin
     t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
-    note_drop t pkt Obs.Auth m_drop_auth
+    note_drop t pkt Obs.Auth t.om.m_drop_auth
   end
   else if
     needs_dedup pkt
@@ -573,7 +596,7 @@ and forward t ~from_link pkt =
     && not pkt.Packet.replay
   then begin
     t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1;
-    note_drop t pkt Obs.Dup m_drop_dup
+    note_drop t pkt Obs.Dup t.om.m_drop_dup
   end
   else begin
     deliver_locals t pkt;
@@ -598,13 +621,13 @@ and try_accept t ~from_link pkt =
   else if not (cpu_admit t) then false
   else if not (auth_ok t pkt) then begin
     t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
-    note_drop t pkt Obs.Auth m_drop_auth;
+    note_drop t pkt Obs.Auth t.om.m_drop_auth;
     false
   end
   else if Dedup.peek t.dedup pkt.Packet.flow pkt.Packet.seq then begin
     (* Already accepted earlier: re-ack without reprocessing. *)
     t.ctrs.dropped_dup <- t.ctrs.dropped_dup + 1;
-    Om.Counter.incr m_drop_dup;
+    Om.Counter.incr t.om.m_drop_dup;
     true
   end
   else begin
@@ -616,7 +639,7 @@ and try_accept t ~from_link pkt =
            unreachable): refuse rather than absorb — reliability must not be
            silently dropped. *)
         t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
-        note_drop t pkt Obs.Backpressure m_drop_backpressure;
+        note_drop t pkt Obs.Backpressure t.om.m_drop_backpressure;
         false
       end
       else begin
@@ -633,7 +656,7 @@ and try_accept t ~from_link pkt =
         in
         if not (room 0) then begin
           t.ctrs.dropped_backpressure <- t.ctrs.dropped_backpressure + 1;
-          note_drop t pkt Obs.Backpressure m_drop_backpressure;
+          note_drop t pkt Obs.Backpressure t.om.m_drop_backpressure;
           false
         end
         else begin
@@ -791,7 +814,7 @@ let receive t ~link msg =
       end
       else begin
         t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
-        Om.Counter.incr m_drop_auth
+        Om.Counter.incr t.om.m_drop_auth
       end
     | Msg.Group_update { origin; gseq; memb; auth } ->
       if verify_flood t ~origin msg auth then begin
@@ -800,7 +823,7 @@ let receive t ~link msg =
       end
       else begin
         t.ctrs.dropped_auth <- t.ctrs.dropped_auth + 1;
-        Om.Counter.incr m_drop_auth
+        Om.Counter.incr t.om.m_drop_auth
       end
     | Msg.Data { cls; _ } -> proto_recv t ep cls msg
     | Msg.Link_ack { cls; _ } -> proto_recv t ep cls msg
@@ -942,7 +965,7 @@ let originate t pkt =
     end
     | _ -> pkt
   in
-  Om.Counter.incr m_enqueued;
+  Om.Counter.incr t.om.m_enqueued;
   trace_pkt t pkt Obs.Enqueue;
   match pkt.Packet.service with
   | Packet.It_reliable -> try_accept t ~from_link:(-1) pkt

@@ -38,17 +38,10 @@ type t = {
   pending : (int, Engine.handle list ref) Hashtbl.t; (* missing lseq -> request timers *)
   mutable n_requests_sent : int;
   mutable n_up : int;
+  (* [mh_] prefix: the config field [m_retrans] already takes the name. *)
+  mh_retrans : Strovl_obs.Metrics.Counter.t;
+  mh_requests : Strovl_obs.Metrics.Counter.t;
 }
-
-let m_retrans =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "realtime") ]
-    "strovl_link_retransmits_total"
-
-let m_requests =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "realtime") ]
-    "strovl_link_nacks_total"
 
 let create ?(config = default_config) ctx =
   if config.n_requests < 1 || config.m_retrans < 1 then
@@ -98,6 +91,14 @@ let create ?(config = default_config) ctx =
     pending = Hashtbl.create 16;
     n_requests_sent = 0;
     n_up = 0;
+    mh_retrans =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "realtime") ]
+        "strovl_link_retransmits_total";
+    mh_requests =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "realtime") ]
+        "strovl_link_nacks_total";
   }
 
 (* ---------------- sender ---------------- *)
@@ -126,7 +127,7 @@ let handle_request t lseq =
           (Engine.schedule t.ctx.Lproto.engine ~delay:(j * t.retrans_spacing)
              (fun () ->
                t.n_retrans <- t.n_retrans + 1;
-               Strovl_obs.Metrics.Counter.incr m_retrans;
+               Strovl_obs.Metrics.Counter.incr t.mh_retrans;
                Lproto.trace_pkt t.ctx pkt (Strovl_obs.Trace.Retransmit t.ctx.Lproto.link);
                xmit_data t lseq pkt))
       done
@@ -151,7 +152,7 @@ let request_missing t lseq =
         Engine.schedule t.ctx.Lproto.engine ~delay:(i * t.request_spacing)
           (fun () ->
             t.n_requests_sent <- t.n_requests_sent + 1;
-            Strovl_obs.Metrics.Counter.incr m_requests;
+            Strovl_obs.Metrics.Counter.incr t.mh_requests;
             Lproto.trace t.ctx (Strovl_obs.Trace.Strike (t.ctx.Lproto.link, lseq));
             t.ctx.Lproto.xmit (Msg.Rt_request { lseq }))
       in

@@ -40,6 +40,9 @@ type t = {
   mutable unacked_count : int; (* packets received since last cum ack *)
   mutable ack_timer : Engine.handle option;
   mutable n_up : int;
+  (* Domain-local metric handles, bound at [create] time (Strovl_obs.Ctx). *)
+  m_retrans : Strovl_obs.Metrics.Counter.t;
+  m_nacks : Strovl_obs.Metrics.Counter.t;
 }
 
 let nack_repeat t =
@@ -56,20 +59,10 @@ let rto t =
   | None ->
     Time.max (Time.ms 5) (Time.add (3 * t.ctx.Lproto.rtt_hint) t.cfg.ack_delay)
 
-let m_retrans =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "reliable") ]
-    "strovl_link_retransmits_total"
-
-let m_nacks =
-  Strovl_obs.Metrics.counter
-    ~labels:[ ("proto", "reliable") ]
-    "strovl_link_nacks_total"
-
 let note_retrans t pkt =
   t.n_retrans <- t.n_retrans + 1;
-  Strovl_obs.Metrics.Counter.incr m_retrans;
-  if !Strovl_obs.Series.on then
+  Strovl_obs.Metrics.Counter.incr t.m_retrans;
+  if Strovl_obs.Series.armed () then
     Strovl_obs.Series.incr
       (Strovl_obs.Series.channel
          ~labels:[ ("link", string_of_int t.ctx.Lproto.link) ]
@@ -93,6 +86,14 @@ let create ?(config = default_config) ctx =
     unacked_count = 0;
     ack_timer = None;
     n_up = 0;
+    m_retrans =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "reliable") ]
+        "strovl_link_retransmits_total";
+    m_nacks =
+      Strovl_obs.Metrics.counter
+        ~labels:[ ("proto", "reliable") ]
+        "strovl_link_nacks_total";
   }
 
 (* ---------------- sender side ---------------- *)
@@ -192,7 +193,7 @@ let rec nack_loop t lseq tries () =
       advance_cum t
     end
     else begin
-      Strovl_obs.Metrics.Counter.incr m_nacks;
+      Strovl_obs.Metrics.Counter.incr t.m_nacks;
       Lproto.trace t.ctx (Strovl_obs.Trace.Nack (t.ctx.Lproto.link, lseq));
       t.ctx.Lproto.xmit (Msg.Link_nack { cls = t.cls; missing = [ lseq ] });
       let h =

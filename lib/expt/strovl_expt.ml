@@ -107,3 +107,35 @@ let list_lines () =
   List.map (fun e -> Printf.sprintf "%-18s %s" e.id e.summary) all
 
 let print_list () = List.iter print_endline (list_lines ())
+
+(* --------------------- isolated / parallel running --------------------- *)
+
+(* One experiment as a self-contained unit: runs inside a fresh
+   observability context (Strovl_obs.Ctx.isolate) so it neither sees nor
+   leaves behind domain state — the property that makes a pool-scheduled
+   run's tables and trace digest independent of which domain executes it
+   and what ran there before. With [traced], the flight recorder is armed
+   for the duration and the run's trace digest is returned as a
+   determinism fingerprint. *)
+let run_isolated ?quick ?(traced = false) ~seed (e : experiment) =
+  Strovl_obs.Ctx.isolate (fun () ->
+      if traced then Strovl_obs.Trace.enable ();
+      let table = e.run ?quick ~seed () in
+      let digest = if traced then Some (Strovl_obs.Trace.digest ()) else None in
+      (table, digest))
+
+(* Fans experiments over a domain pool; the outcome array is in input
+   order (Strovl_par.Pool's determinism contract), so printing it from the
+   main domain reproduces the sequential catalogue order byte for byte. *)
+let run_many ?jobs ?quick ?(traced = false) ~seed (es : experiment list) =
+  Strovl_par.Pool.map ?jobs
+    (fun _ e -> run_isolated ?quick ~traced ~seed e)
+    (Array.of_list es)
+
+(* One experiment across many seeds, one isolated run per seed. *)
+let sweep ?jobs ?quick (e : experiment) ~seeds =
+  Strovl_par.Pool.map ?jobs
+    (fun _ seed ->
+      let table, _ = run_isolated ?quick ~seed e in
+      table)
+    (Array.of_list seeds)

@@ -32,3 +32,11 @@ val cell_pct : float -> string
 (** Formats a [0,1] fraction as a percentage. *)
 
 val cell_ms : float -> string
+
+val aggregate : t list -> t
+(** [aggregate tables] folds same-shaped tables (one per seed of a sweep)
+    into a summary: every row becomes three rows — per-column mean, min
+    and max over the inputs, with unit suffixes ([%], [ms]) preserved.
+    Non-numeric columns keep their (constant) value, the first one tagged
+    with the statistic's name. Raises [Invalid_argument] on an empty list
+    or mismatched shapes. *)

@@ -113,8 +113,8 @@ let send t ~src ~bytes ~deliver =
   if Time.sub departure now > t.cfg.queue_cap then begin
     h.drops <- h.drops + 1;
     Strovl_obs.Metrics.Counter.incr t.m_qdrops;
-    if !Strovl_obs.Series.on then Strovl_obs.Series.incr t.s_qdrops;
-    if !Strovl_obs.Trace.on then
+    if Strovl_obs.Series.armed () then Strovl_obs.Series.incr t.s_qdrops;
+    if Strovl_obs.Trace.armed () then
       Strovl_obs.Trace.emit ~node:src
         (Strovl_obs.Trace.Drop Strovl_obs.Trace.Queue_full)
   end
@@ -124,7 +124,7 @@ let send t ~src ~bytes ~deliver =
     Strovl_obs.Metrics.Counter.incr t.m_tx_pkts;
     Strovl_obs.Metrics.Counter.add t.m_tx_bytes (bytes + t.cfg.overhead_bytes);
     Strovl_obs.Metrics.Histogram.observe t.m_backlog (Time.sub start now);
-    if !Strovl_obs.Series.on then begin
+    if Strovl_obs.Series.armed () then begin
       Strovl_obs.Series.incr t.s_tx;
       Strovl_obs.Series.add t.s_backlog (Time.sub start now)
     end;

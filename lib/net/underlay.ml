@@ -27,6 +27,11 @@ type t = {
   presence : bool array array; (* isp -> site -> has fiber *)
   mutable peering_delay : Time.t;
   mutable peering_loss : Loss.t;
+  (* Metric handles from this domain's registry, bound at [create] time so
+     they belong to the run that owns this underlay (see Strovl_obs.Ctx). *)
+  m_seg_fail : Strovl_obs.Metrics.Counter.t;
+  m_seg_repair : Strovl_obs.Metrics.Counter.t;
+  m_lost : Strovl_obs.Metrics.Counter.t;
 }
 
 let engine t = t.engine
@@ -68,17 +73,18 @@ let create ?(convergence = Time.sec 40) engine spec =
     peering_delay = Time.ms 2;
     peering_loss =
       Loss.bernoulli (Rng.split_named (Engine.rng engine) "peering") ~p:0.01;
+    m_seg_fail =
+      Strovl_obs.Metrics.counter "strovl_underlay_segment_failures_total";
+    m_seg_repair =
+      Strovl_obs.Metrics.counter "strovl_underlay_segment_repairs_total";
+    m_lost = Strovl_obs.Metrics.counter "strovl_underlay_lost_total";
   }
-
-let m_seg_fail = Strovl_obs.Metrics.counter "strovl_underlay_segment_failures_total"
-let m_seg_repair = Strovl_obs.Metrics.counter "strovl_underlay_segment_repairs_total"
-let m_lost = Strovl_obs.Metrics.counter "strovl_underlay_lost_total"
 
 (* A wire loss is a drop in flight: charge it to the sending site so the
    flight recorder shows where the packet vanished. *)
-let note_lost src =
-  Strovl_obs.Metrics.Counter.incr m_lost;
-  if !Strovl_obs.Trace.on then
+let note_lost t src =
+  Strovl_obs.Metrics.Counter.incr t.m_lost;
+  if Strovl_obs.Trace.armed () then
     Strovl_obs.Trace.emit ~node:src
       (Strovl_obs.Trace.Drop Strovl_obs.Trace.Wire_loss)
 
@@ -97,7 +103,7 @@ let fail_segment t si =
   if si < 0 || si >= nsegments t then invalid_arg "Underlay.fail_segment";
   if t.seg_up.(si) then begin
     t.seg_up.(si) <- false;
-    Strovl_obs.Metrics.Counter.incr m_seg_fail;
+    Strovl_obs.Metrics.Counter.incr t.m_seg_fail;
     ignore
       (Engine.schedule t.engine ~delay:t.convergence (fun () ->
            (* Convergence: routing stops using the segment — unless it was
@@ -112,7 +118,7 @@ let repair_segment t si =
   if si < 0 || si >= nsegments t then invalid_arg "Underlay.repair_segment";
   if not t.seg_up.(si) then begin
     t.seg_up.(si) <- true;
-    Strovl_obs.Metrics.Counter.incr m_seg_repair;
+    Strovl_obs.Metrics.Counter.incr t.m_seg_repair;
     ignore
       (Engine.schedule t.engine ~delay:t.convergence (fun () ->
            if t.seg_up.(si) then begin
@@ -214,7 +220,7 @@ let transmit_result t ~isp ~src ~dst =
 
 let transmit t ~isp ~src ~dst ~deliver =
   match transmit_latency t ~isp ~src ~dst with
-  | d when d = min_int -> note_lost src
+  | d when d = min_int -> note_lost t src
   | d -> ignore (Engine.schedule t.engine ~delay:d deliver)
 
 (* --------------------------- off-net paths --------------------------- *)
@@ -300,5 +306,5 @@ let transmit_result_pair t ~isp_src ~isp_dst ~src ~dst =
 
 let transmit_pair t ~isp_src ~isp_dst ~src ~dst ~deliver =
   match transmit_latency_pair t ~isp_src ~isp_dst ~src ~dst with
-  | d when d = min_int -> note_lost src
+  | d when d = min_int -> note_lost t src
   | d -> ignore (Engine.schedule t.engine ~delay:d deliver)

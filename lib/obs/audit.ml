@@ -38,7 +38,12 @@
      processed (forwarded, delivered, or previously recovered).
 
    State is bounded: per-packet tables are pruned by age once they exceed
-   [max_tracked] keys, so the auditor can ride along in soaks. *)
+   [max_tracked] keys, so the auditor can ride along in soaks.
+
+   All auditor state lives in one domain-local record: each parallel run
+   audits its own trace stream (the Trace sink it installs is domain-local
+   too), so concurrent runs neither share packet-identity tables nor each
+   other's violations. *)
 
 type violation = {
   v_ts : int;
@@ -66,82 +71,89 @@ let default_config =
 
 (* ----------------------------- state --------------------------------- *)
 
-let armed_flag = ref false
-let cfg = ref default_config
-let viols : violation list ref = ref []
-let nviols = ref 0
+type st = {
+  mutable armed_flag : bool;
+  mutable cfg : config;
+  mutable viols : violation list;
+  mutable nviols : int;
+  (* (flow, seq) -> first delivery (ts, node); unicast only *)
+  delivered : (Trace.flow_id * int, int * int) Hashtbl.t;
+  (* (flow, seq, node) -> ts the node last processed the packet *)
+  seen_at : (Trace.flow_id * int * int, int) Hashtbl.t;
+  (* (flow, seq, node, link) -> ts of the non-replay forward *)
+  fwd : (Trace.flow_id * int * int * int, int) Hashtbl.t;
+  (* (node, link, lseq) -> ts of the first nack for that gap *)
+  nack_pending : (int * int * int, int) Hashtbl.t;
+  nack_exempt : (int, unit) Hashtbl.t;
+  (* link -> ts of the most recent retransmission on it *)
+  last_retx : (int, int) Hashtbl.t;
+  (* node -> ts of the most recent LSU (from any origin) it applied *)
+  lsu_active : (int, int) Hashtbl.t;
+  (* origin -> (down ts, nodes that applied a fresher LSU since) *)
+  reroute_pending : (int, int * (int, unit) Hashtbl.t) Hashtbl.t;
+  seen_nodes : (int, unit) Hashtbl.t;
+  mutable reroute_lat : int list;
+  mutable next_sweep : int;
+  mutable last_ts : int;
+}
 
-(* (flow, seq) -> first delivery (ts, node); unicast only *)
-let delivered : (Trace.flow_id * int, int * int) Hashtbl.t = Hashtbl.create 256
+let dls : st Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        armed_flag = false;
+        cfg = default_config;
+        viols = [];
+        nviols = 0;
+        delivered = Hashtbl.create 256;
+        seen_at = Hashtbl.create 256;
+        fwd = Hashtbl.create 256;
+        nack_pending = Hashtbl.create 64;
+        nack_exempt = Hashtbl.create 16;
+        last_retx = Hashtbl.create 16;
+        lsu_active = Hashtbl.create 64;
+        reroute_pending = Hashtbl.create 16;
+        seen_nodes = Hashtbl.create 64;
+        reroute_lat = [];
+        next_sweep = min_int;
+        last_ts = min_int;
+      })
 
-(* (flow, seq, node) -> ts the node last processed the packet *)
-let seen_at : (Trace.flow_id * int * int, int) Hashtbl.t = Hashtbl.create 256
-
-(* (flow, seq, node, link) -> ts of the non-replay forward *)
-let fwd : (Trace.flow_id * int * int * int, int) Hashtbl.t = Hashtbl.create 256
-
-(* (node, link, lseq) -> ts of the first nack for that gap *)
-let nack_pending : (int * int * int, int) Hashtbl.t = Hashtbl.create 64
-
-let nack_exempt : (int, unit) Hashtbl.t = Hashtbl.create 16
-
-(* link -> ts of the most recent retransmission on it *)
-let last_retx : (int, int) Hashtbl.t = Hashtbl.create 16
-
-(* node -> ts of the most recent LSU (from any origin) it applied *)
-let lsu_active : (int, int) Hashtbl.t = Hashtbl.create 64
-
-(* origin -> (down ts, nodes that applied a fresher LSU since) *)
-let reroute_pending : (int, int * (int, unit) Hashtbl.t) Hashtbl.t =
-  Hashtbl.create 16
-
-let seen_nodes : (int, unit) Hashtbl.t = Hashtbl.create 64
-let reroute_lat : int list ref = ref []
-let next_sweep = ref min_int
-let last_ts = ref min_int
+let state () = Domain.DLS.get dls
 
 (* A sim-time regression means a new simulation run started inside one
    audited span (experiments build a fresh engine per scenario, and each
    engine's clock restarts at zero). Packet identities and budgets do not
    carry across runs, so the packet-scoped state is dropped; accumulated
    violations and reroute latencies are kept. *)
-let epoch_reset () =
-  Hashtbl.reset delivered;
-  Hashtbl.reset seen_at;
-  Hashtbl.reset fwd;
-  Hashtbl.reset nack_pending;
-  Hashtbl.reset nack_exempt;
-  Hashtbl.reset last_retx;
-  Hashtbl.reset lsu_active;
-  Hashtbl.reset reroute_pending;
-  Hashtbl.reset seen_nodes;
-  next_sweep := min_int
+let epoch_reset st =
+  Hashtbl.reset st.delivered;
+  Hashtbl.reset st.seen_at;
+  Hashtbl.reset st.fwd;
+  Hashtbl.reset st.nack_pending;
+  Hashtbl.reset st.nack_exempt;
+  Hashtbl.reset st.last_retx;
+  Hashtbl.reset st.lsu_active;
+  Hashtbl.reset st.reroute_pending;
+  Hashtbl.reset st.seen_nodes;
+  st.next_sweep <- min_int
 
-let m_violations = Metrics.counter "strovl_audit_violations_total"
+let reset_state st =
+  st.viols <- [];
+  st.nviols <- 0;
+  epoch_reset st;
+  st.reroute_lat <- [];
+  st.last_ts <- min_int
 
-let reset_state () =
-  viols := [];
-  nviols := 0;
-  Hashtbl.reset delivered;
-  Hashtbl.reset seen_at;
-  Hashtbl.reset fwd;
-  Hashtbl.reset nack_pending;
-  Hashtbl.reset nack_exempt;
-  Hashtbl.reset last_retx;
-  Hashtbl.reset lsu_active;
-  Hashtbl.reset reroute_pending;
-  Hashtbl.reset seen_nodes;
-  reroute_lat := [];
-  next_sweep := min_int;
-  last_ts := min_int
-
-let violate ~ts ~rule ~node ?(flow = Trace.no_flow) ?(seq = -1) detail =
-  viols :=
+let violate st ~ts ~rule ~node ?(flow = Trace.no_flow) ?(seq = -1) detail =
+  st.viols <-
     { v_ts = ts; v_rule = rule; v_node = node; v_flow = flow; v_seq = seq;
       v_detail = detail }
-    :: !viols;
-  incr nviols;
-  Metrics.Counter.incr m_violations
+    :: st.viols;
+  st.nviols <- st.nviols + 1;
+  (* Violations are rare; the registry lookup keeps the counter handle in
+     this domain's registry rather than pinning one shared handle across
+     domains. *)
+  Metrics.Counter.incr (Metrics.counter "strovl_audit_violations_total")
 
 (* ----------------------------- rules --------------------------------- *)
 
@@ -152,61 +164,64 @@ let unicast (flow : Trace.flow_id) =
 let packet_ctx (r : Trace.record) =
   r.Trace.flow.Trace.fi_src >= 0 && r.Trace.seq >= 0
 
-let note_seen (r : Trace.record) =
+let note_seen st (r : Trace.record) =
   if packet_ctx r then
-    Hashtbl.replace seen_at (r.Trace.flow, r.Trace.seq, r.Trace.node) r.Trace.ts
+    Hashtbl.replace st.seen_at (r.Trace.flow, r.Trace.seq, r.Trace.node)
+      r.Trace.ts
 
-let on_deliver (r : Trace.record) =
+let on_deliver st (r : Trace.record) =
   if packet_ctx r && unicast r.Trace.flow then begin
-    match Hashtbl.find_opt delivered (r.Trace.flow, r.Trace.seq) with
+    match Hashtbl.find_opt st.delivered (r.Trace.flow, r.Trace.seq) with
     | Some (ts0, node0) ->
-      violate ~ts:r.Trace.ts ~rule:"dup-deliver" ~node:r.Trace.node
+      violate st ~ts:r.Trace.ts ~rule:"dup-deliver" ~node:r.Trace.node
         ~flow:r.Trace.flow ~seq:r.Trace.seq
         (Printf.sprintf "delivered again at node %d; first at node %d t=%dus"
            r.Trace.node node0 ts0)
     | None ->
-      Hashtbl.replace delivered (r.Trace.flow, r.Trace.seq)
+      Hashtbl.replace st.delivered (r.Trace.flow, r.Trace.seq)
         (r.Trace.ts, r.Trace.node)
   end;
-  note_seen r
+  note_seen st r
 
-let on_forward (r : Trace.record) link =
+let on_forward st (r : Trace.record) link =
   if packet_ctx r then begin
     let key = (r.Trace.flow, r.Trace.seq, r.Trace.node, link) in
-    (match Hashtbl.find_opt fwd key with
+    (match Hashtbl.find_opt st.fwd key with
     | Some ts0 ->
-      violate ~ts:r.Trace.ts ~rule:"fwd-loop" ~node:r.Trace.node
+      violate st ~ts:r.Trace.ts ~rule:"fwd-loop" ~node:r.Trace.node
         ~flow:r.Trace.flow ~seq:r.Trace.seq
         (Printf.sprintf "re-forwarded on link %d (first at t=%dus)" link ts0)
-    | None -> Hashtbl.replace fwd key r.Trace.ts)
+    | None -> Hashtbl.replace st.fwd key r.Trace.ts)
   end;
-  note_seen r
+  note_seen st r
 
-let on_fec_recover (r : Trace.record) link =
+let on_fec_recover st (r : Trace.record) link =
   if packet_ctx r then begin
-    match Hashtbl.find_opt seen_at (r.Trace.flow, r.Trace.seq, r.Trace.node) with
+    match
+      Hashtbl.find_opt st.seen_at (r.Trace.flow, r.Trace.seq, r.Trace.node)
+    with
     | Some ts0 ->
-      violate ~ts:r.Trace.ts ~rule:"fec-ghost" ~node:r.Trace.node
+      violate st ~ts:r.Trace.ts ~rule:"fec-ghost" ~node:r.Trace.node
         ~flow:r.Trace.flow ~seq:r.Trace.seq
         (Printf.sprintf
            "FEC on link %d recovered a packet this node already processed \
             (t=%dus)"
            link ts0)
-    | None -> note_seen r
+    | None -> note_seen st r
   end
 
-let on_nack (r : Trace.record) link lseq =
-  if not (Hashtbl.mem nack_exempt link) then begin
+let on_nack st (r : Trace.record) link lseq =
+  if not (Hashtbl.mem st.nack_exempt link) then begin
     let key = (r.Trace.node, link, lseq) in
-    if not (Hashtbl.mem nack_pending key) then
-      Hashtbl.replace nack_pending key r.Trace.ts
+    if not (Hashtbl.mem st.nack_pending key) then
+      Hashtbl.replace st.nack_pending key r.Trace.ts
   end
 
-let on_retransmit ts link =
+let on_retransmit st ts link =
   (* A retransmission on [link] answers the oldest outstanding nack there.
      We cannot match lseqs across sides (lseq numbering is per-direction),
      so clearing the oldest is the sound lenient choice. *)
-  Hashtbl.replace last_retx link ts;
+  Hashtbl.replace st.last_retx link ts;
   let oldest = ref None in
   Hashtbl.iter
     (fun ((_, l, _) as key) ts ->
@@ -214,89 +229,90 @@ let on_retransmit ts link =
         match !oldest with
         | Some (_, ts0) when ts0 <= ts -> ()
         | _ -> oldest := Some (key, ts))
-    nack_pending;
+    st.nack_pending;
   match !oldest with
-  | Some (key, _) -> Hashtbl.remove nack_pending key
+  | Some (key, _) -> Hashtbl.remove st.nack_pending key
   | None -> ()
 
-let on_reroute (r : Trace.record) link up =
-  Hashtbl.replace nack_exempt link ();
+let on_reroute st (r : Trace.record) link up =
+  Hashtbl.replace st.nack_exempt link ();
   let stranded = ref [] in
   Hashtbl.iter
     (fun ((_, l, _) as key) _ -> if l = link then stranded := key :: !stranded)
-    nack_pending;
-  List.iter (Hashtbl.remove nack_pending) !stranded;
+    st.nack_pending;
+  List.iter (Hashtbl.remove st.nack_pending) !stranded;
   if not up then
-    if not (Hashtbl.mem reroute_pending r.Trace.node) then
-      Hashtbl.replace reroute_pending r.Trace.node
+    if not (Hashtbl.mem st.reroute_pending r.Trace.node) then
+      Hashtbl.replace st.reroute_pending r.Trace.node
         (r.Trace.ts, Hashtbl.create 16)
 
-let population_covered ~origin heard =
+let population_covered st ~origin heard =
   let missing = ref 0 in
   Hashtbl.iter
     (fun id () ->
       if id <> origin && not (Hashtbl.mem heard id) then incr missing)
-    seen_nodes;
+    st.seen_nodes;
   !missing = 0
 
-let on_lsu_apply (r : Trace.record) origin =
-  Hashtbl.replace lsu_active r.Trace.node r.Trace.ts;
-  match Hashtbl.find_opt reroute_pending origin with
+let on_lsu_apply st (r : Trace.record) origin =
+  Hashtbl.replace st.lsu_active r.Trace.node r.Trace.ts;
+  match Hashtbl.find_opt st.reroute_pending origin with
   | None -> ()
   | Some (ts0, heard) ->
     if r.Trace.node <> origin then Hashtbl.replace heard r.Trace.node ();
     let full_population =
-      match !cfg.nnodes with
+      match st.cfg.nnodes with
       | Some n -> Hashtbl.length heard >= n - 1
-      | None -> population_covered ~origin heard
+      | None -> population_covered st ~origin heard
     in
     if full_population then begin
-      Hashtbl.remove reroute_pending origin;
-      reroute_lat := (r.Trace.ts - ts0) :: !reroute_lat
+      Hashtbl.remove st.reroute_pending origin;
+      st.reroute_lat <- (r.Trace.ts - ts0) :: st.reroute_lat
     end
 
 (* ----------------------------- sweeping ------------------------------ *)
 
-let prune_packet_tables now =
-  let horizon = 8 * !cfg.recovery_budget_us in
+let prune_packet_tables st now =
+  let horizon = 8 * st.cfg.recovery_budget_us in
   let cutoff = now - horizon in
-  if Hashtbl.length seen_at > !cfg.max_tracked then begin
+  if Hashtbl.length st.seen_at > st.cfg.max_tracked then begin
     let old = ref [] in
-    Hashtbl.iter (fun k ts -> if ts < cutoff then old := k :: !old) seen_at;
-    List.iter (Hashtbl.remove seen_at) !old
+    Hashtbl.iter (fun k ts -> if ts < cutoff then old := k :: !old) st.seen_at;
+    List.iter (Hashtbl.remove st.seen_at) !old
   end;
-  if Hashtbl.length fwd > !cfg.max_tracked then begin
+  if Hashtbl.length st.fwd > st.cfg.max_tracked then begin
     let old = ref [] in
-    Hashtbl.iter (fun k ts -> if ts < cutoff then old := k :: !old) fwd;
-    List.iter (Hashtbl.remove fwd) !old
+    Hashtbl.iter (fun k ts -> if ts < cutoff then old := k :: !old) st.fwd;
+    List.iter (Hashtbl.remove st.fwd) !old
   end;
-  if Hashtbl.length delivered > !cfg.max_tracked then begin
+  if Hashtbl.length st.delivered > st.cfg.max_tracked then begin
     let old = ref [] in
     Hashtbl.iter
       (fun k (ts, _) -> if ts < cutoff then old := k :: !old)
-      delivered;
-    List.iter (Hashtbl.remove delivered) !old
+      st.delivered;
+    List.iter (Hashtbl.remove st.delivered) !old
   end
 
-let sweep now =
+let sweep st now =
   let expired = ref [] in
   Hashtbl.iter
     (fun key ts ->
-      if now - ts > !cfg.recovery_budget_us then expired := (key, ts) :: !expired)
-    nack_pending;
+      if now - ts > st.cfg.recovery_budget_us then
+        expired := (key, ts) :: !expired)
+    st.nack_pending;
   List.iter
     (fun (((node, link, lseq) as key), ts) ->
-      Hashtbl.remove nack_pending key;
+      Hashtbl.remove st.nack_pending key;
       (* Only a fully silent sender is a violation: if the link saw any
          retransmission since the nack, the pairing was merely ambiguous
          (the answer can cross the nack, or clear a different slot). *)
       let sender_active =
-        match Hashtbl.find_opt last_retx link with
+        match Hashtbl.find_opt st.last_retx link with
         | Some t -> t >= ts
         | None -> false
       in
       if not sender_active then
-        violate ~ts:now ~rule:"recovery-budget" ~node ~seq:lseq
+        violate st ~ts:now ~rule:"recovery-budget" ~node ~seq:lseq
           (Printf.sprintf
              "nack on link %d (lseq %d, t=%dus) unanswered after %dus" link
              lseq ts (now - ts)))
@@ -304,12 +320,12 @@ let sweep now =
   let expired = ref [] in
   Hashtbl.iter
     (fun origin (ts, heard) ->
-      if now - ts > !cfg.reroute_budget_us then
+      if now - ts > st.cfg.reroute_budget_us then
         expired := (origin, ts, heard) :: !expired)
-    reroute_pending;
+    st.reroute_pending;
   List.iter
     (fun (origin, ts, heard) ->
-      Hashtbl.remove reroute_pending origin;
+      Hashtbl.remove st.reroute_pending origin;
       (* Nobody heard the origin at all: it is partitioned (e.g. a crashed
          node still running local timers), not late. Otherwise, only nodes
          that kept applying floods after the down report are required —
@@ -319,12 +335,12 @@ let sweep now =
         Hashtbl.iter
           (fun id () ->
             if id <> origin && not (Hashtbl.mem heard id) then
-              match Hashtbl.find_opt lsu_active id with
+              match Hashtbl.find_opt st.lsu_active id with
               | Some t when t > ts -> laggards := id :: !laggards
               | _ -> ())
-          seen_nodes;
+          st.seen_nodes;
         if !laggards <> [] then
-          violate ~ts:now ~rule:"reroute-budget" ~node:origin
+          violate st ~ts:now ~rule:"reroute-budget" ~node:origin
             (Printf.sprintf
                "link-down LSU from node %d (t=%dus) not applied overlay-wide \
                 within %dus (%d nodes heard it; flood-active nodes %s did \
@@ -334,56 +350,63 @@ let sweep now =
                   (List.map string_of_int (List.sort compare !laggards))))
       end)
     !expired;
-  prune_packet_tables now;
-  next_sweep :=
-    now + (min !cfg.recovery_budget_us !cfg.reroute_budget_us / 4)
+  prune_packet_tables st now;
+  st.next_sweep <-
+    now + (min st.cfg.recovery_budget_us st.cfg.reroute_budget_us / 4)
 
 (* ------------------------------ feed --------------------------------- *)
 
 let feed (r : Trace.record) =
-  if r.Trace.ts < !last_ts then epoch_reset ();
-  last_ts := r.Trace.ts;
-  if r.Trace.node >= 0 then Hashtbl.replace seen_nodes r.Trace.node ();
+  let st = state () in
+  if r.Trace.ts < st.last_ts then epoch_reset st;
+  st.last_ts <- r.Trace.ts;
+  if r.Trace.node >= 0 then Hashtbl.replace st.seen_nodes r.Trace.node ();
   (match r.Trace.ev with
-  | Trace.Deliver -> on_deliver r
-  | Trace.Deliver_replay -> note_seen r
-  | Trace.Forward link -> on_forward r link
-  | Trace.Forward_replay _ -> note_seen r
-  | Trace.Fec_recover link -> on_fec_recover r link
-  | Trace.Nack (link, lseq) -> on_nack r link lseq
-  | Trace.Retransmit link -> on_retransmit r.Trace.ts link
-  | Trace.Reroute (link, up) -> on_reroute r link up
-  | Trace.Lsu_apply origin -> on_lsu_apply r origin
+  | Trace.Deliver -> on_deliver st r
+  | Trace.Deliver_replay -> note_seen st r
+  | Trace.Forward link -> on_forward st r link
+  | Trace.Forward_replay _ -> note_seen st r
+  | Trace.Fec_recover link -> on_fec_recover st r link
+  | Trace.Nack (link, lseq) -> on_nack st r link lseq
+  | Trace.Retransmit link -> on_retransmit st r.Trace.ts link
+  | Trace.Reroute (link, up) -> on_reroute st r link up
+  | Trace.Lsu_apply origin -> on_lsu_apply st r origin
   | Trace.Enqueue | Trace.Drop _ | Trace.Lsu_flood | Trace.Probe _
   | Trace.Probe_verdict _ | Trace.Strike _ ->
     ());
-  if r.Trace.ts >= !next_sweep then sweep r.Trace.ts
+  if r.Trace.ts >= st.next_sweep then sweep st r.Trace.ts
 
 (* ----------------------------- control ------------------------------- *)
 
 let arm ?(config = default_config) () =
-  cfg := config;
-  reset_state ();
+  let st = state () in
+  st.cfg <- config;
+  reset_state st;
   Trace.set_sink feed;
-  armed_flag := true
+  st.armed_flag <- true
 
 let disarm () =
-  if !armed_flag then begin
+  let st = state () in
+  if st.armed_flag then begin
     Trace.clear_sink ();
-    armed_flag := false
+    st.armed_flag <- false
   end
 
-let armed () = !armed_flag
-let violations () = List.rev !viols
-let count () = !nviols
+let armed () = (state ()).armed_flag
+
+let reset () =
+  disarm ();
+  reset_state (state ())
+let violations () = List.rev (state ()).viols
+let count () = (state ()).nviols
 
 let distinct_rules () =
-  List.sort_uniq compare (List.map (fun v -> v.v_rule) !viols)
+  List.sort_uniq compare (List.map (fun v -> v.v_rule) (state ()).viols)
 
-let reroute_latencies () = List.rev !reroute_lat
+let reroute_latencies () = List.rev (state ()).reroute_lat
 
 let finish () =
-  sweep (Trace.now ());
+  sweep (state ()) (Trace.now ());
   violations ()
 
 let pp_violation ppf v =
@@ -414,9 +437,9 @@ let violation_json v =
    was off), run, and report any violations on stderr; the registry's
    [strovl_audit_violations_total] counter records the tally either way. *)
 let checked ?config ~label f =
-  if !armed_flag then f ()
+  if (state ()).armed_flag then f ()
   else begin
-    let trace_was_on = !Trace.on in
+    let trace_was_on = Trace.armed () in
     if not trace_was_on then Trace.enable ~capacity:(1 lsl 16) ();
     arm ?config ();
     let finally () =

@@ -64,6 +64,10 @@ val disarm : unit -> unit
 
 val armed : unit -> bool
 
+val reset : unit -> unit
+(** Disarms and forgets all collected state on this domain (for per-run
+    isolation; see {!Ctx}). *)
+
 val feed : Trace.record -> unit
 (** The sink itself — public so tests can drive the auditor with
     hand-built (or deliberately broken) event streams. *)

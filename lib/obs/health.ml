@@ -21,9 +21,15 @@ type t = {
   s_loss : Series.ch;
 }
 
-let registry : (int * int, t) Hashtbl.t = Hashtbl.create 64
+(* The registry is domain-local, like every observability registry: each
+   parallel run's probe protocol instances feed their own tables. *)
+let dls : (int * int, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get dls
 
 let get ~node ~link =
+  let registry = registry () in
   match Hashtbl.find_opt registry (node, link) with
   | Some h -> h
   | None ->
@@ -50,16 +56,16 @@ let get ~node ~link =
     h
 
 let fresh ~node ~link =
-  Hashtbl.remove registry (node, link);
+  Hashtbl.remove (registry ()) (node, link);
   get ~node ~link
 
-let find ~node ~link = Hashtbl.find_opt registry (node, link)
+let find ~node ~link = Hashtbl.find_opt (registry ()) (node, link)
 
 let all () =
-  Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+  Hashtbl.fold (fun _ h acc -> h :: acc) (registry ()) []
   |> List.sort (fun a b -> compare (a.h_link, a.h_node) (b.h_link, b.h_node))
 
-let reset () = Hashtbl.reset registry
+let reset () = Hashtbl.reset (registry ())
 
 let note_sent h = h.sent <- h.sent + 1
 let note_acked h = h.acked <- h.acked + 1
@@ -72,7 +78,7 @@ let observe_rtt h sample =
     h.rtt_us <- ((7 * h.rtt_us) + sample) / 8
   end;
   h.rtt_samples <- h.rtt_samples + 1;
-  if !Series.on then Series.add h.s_rtt h.rtt_us
+  if Series.armed () then Series.add h.s_rtt h.rtt_us
 
 let fold_loss h ~sent ~acked =
   if sent > 0 then begin
@@ -85,7 +91,7 @@ let fold_loss h ~sent ~acked =
     if h.loss_folds = 0 then h.loss_pm <- sample_pm
     else h.loss_pm <- (h.loss_pm + sample_pm) / 2;
     h.loss_folds <- h.loss_folds + 1;
-    if !Series.on then Series.add h.s_loss h.loss_pm
+    if Series.armed () then Series.add h.s_loss h.loss_pm
   end
 
 let set_alive h alive = h.alive <- alive

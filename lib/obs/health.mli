@@ -2,7 +2,7 @@
     per-direction loss, plus a liveness verdict, maintained by the probe
     link protocol ([Strovl.Probe_link]) and read by monitoring tools and —
     behind an off-by-default flag — by connectivity-graph cost
-    advertisement. The registry is process-wide, like {!Metrics}. *)
+    advertisement. The registry is domain-local, like {!Metrics}. *)
 
 type t = {
   h_node : int;  (** observing endpoint *)
@@ -25,7 +25,7 @@ val get : node:int -> link:int -> t
 val fresh : node:int -> link:int -> t
 (** Like [get] but discards any stale entry first — probe protocol
     instances use this so a new run does not inherit a previous run's
-    EWMAs (the registry is process-wide). *)
+    EWMAs (the registry outlives individual runs on its domain). *)
 
 val find : node:int -> link:int -> t option
 val all : unit -> t list

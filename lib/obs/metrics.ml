@@ -1,19 +1,24 @@
 type labels = (string * string) list
 
-let enabled = ref true
+(* All registry state is domain-local: each domain (and therefore each
+   parallel run executing on it) owns an independent registry, so N
+   simulations on N domains never contend on — or leak counts into — each
+   other's metrics. Handles embed their owning domain's [enabled] ref, so
+   the hot-path update cost stays one dereference and a branch, exactly as
+   with the old process-global flag. *)
 
 module Counter = struct
-  type t = { mutable v : int }
+  type t = { mutable v : int; on : bool ref }
 
-  let incr c = if !enabled then c.v <- c.v + 1
-  let add c k = if !enabled then c.v <- c.v + k
+  let incr c = if !(c.on) then c.v <- c.v + 1
+  let add c k = if !(c.on) then c.v <- c.v + k
   let value c = c.v
 end
 
 module Gauge = struct
-  type t = { mutable v : int }
+  type t = { mutable v : int; on : bool ref }
 
-  let set g v = if !enabled then g.v <- v
+  let set g v = if !(g.on) then g.v <- v
   let value g = g.v
 end
 
@@ -29,6 +34,7 @@ module Histogram = struct
     mutable total : int;
     mutable vmin : int;
     mutable vmax : int;
+    on : bool ref;
   }
 
   let bucket_of v =
@@ -43,7 +49,7 @@ module Histogram = struct
     end
 
   let observe h v =
-    if !enabled then begin
+    if !(h.on) then begin
       let v = Stdlib.max 0 v in
       h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
       h.n <- h.n + 1;
@@ -98,13 +104,26 @@ type item =
   | G of Gauge.t
   | H of Histogram.t
 
-let registry : (string * labels, item) Hashtbl.t = Hashtbl.create 64
+type state = {
+  st_on : bool ref;
+  st_registry : (string * labels, item) Hashtbl.t;
+}
+
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_on = ref true; st_registry = Hashtbl.create 64 })
+
+let state () = Domain.DLS.get dls
+
+let enabled () = !((state ()).st_on)
+let set_enabled v = (state ()).st_on := v
 
 let normalize labels = List.sort compare labels
 
 let get_or_create ~kind ~make name labels =
+  let st = state () in
   let key = (name, normalize labels) in
-  match Hashtbl.find_opt registry key with
+  match Hashtbl.find_opt st.st_registry key with
   | Some item ->
     if not (kind item) then
       invalid_arg ("Metrics: " ^ name ^ " already registered with another kind");
@@ -116,16 +135,16 @@ let get_or_create ~kind ~make name labels =
       (fun (n, _) item ->
         if n = name && kind item = false then
           invalid_arg ("Metrics: " ^ name ^ " already registered with another kind"))
-      registry;
-    let item = make () in
-    Hashtbl.replace registry key item;
+      st.st_registry;
+    let item = make st.st_on in
+    Hashtbl.replace st.st_registry key item;
     item
 
 let counter ?(labels = []) name =
   match
     get_or_create name labels
       ~kind:(function C _ -> true | _ -> false)
-      ~make:(fun () -> C { Counter.v = 0 })
+      ~make:(fun on -> C { Counter.v = 0; on })
   with
   | C c -> c
   | _ -> assert false
@@ -134,7 +153,7 @@ let gauge ?(labels = []) name =
   match
     get_or_create name labels
       ~kind:(function G _ -> true | _ -> false)
-      ~make:(fun () -> G { Gauge.v = 0 })
+      ~make:(fun on -> G { Gauge.v = 0; on })
   with
   | G g -> g
   | _ -> assert false
@@ -143,7 +162,7 @@ let histogram ?(labels = []) name =
   match
     get_or_create name labels
       ~kind:(function H _ -> true | _ -> false)
-      ~make:(fun () ->
+      ~make:(fun on ->
         H
           {
             Histogram.counts = Array.make Histogram.nbuckets 0;
@@ -151,6 +170,7 @@ let histogram ?(labels = []) name =
             total = 0;
             vmin = 0;
             vmax = 0;
+            on;
           })
   with
   | H h -> h
@@ -180,12 +200,12 @@ let dump () =
               }
         in
         (name, labels, v) :: acc)
-      registry []
+      (state ()).st_registry []
   in
   List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2)) rows
 
 let find_counter ?(labels = []) name =
-  match Hashtbl.find_opt registry (name, normalize labels) with
+  match Hashtbl.find_opt (state ()).st_registry (name, normalize labels) with
   | Some (C c) -> c.Counter.v
   | _ -> 0
 
@@ -196,4 +216,9 @@ let reset () =
       | C c -> c.Counter.v <- 0
       | G g -> g.Gauge.v <- 0
       | H h -> Histogram.clear h)
-    registry
+    (state ()).st_registry
+
+let purge () =
+  let st = state () in
+  Hashtbl.reset st.st_registry;
+  st.st_on := true

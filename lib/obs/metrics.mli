@@ -1,18 +1,26 @@
-(** Process-wide registry of labelled counters, gauges and histograms.
+(** Per-domain registry of labelled counters, gauges and histograms.
 
     Handles are created (or looked up) once at component-construction time;
-    hot-path updates are O(1) field writes guarded by a single module-level
-    [enabled] flag, so the disabled mode costs one dereference and a
-    branch. Histograms are bounded log-bucket (powers of two) so long chaos
-    soaks cannot grow memory, unlike [Strovl_sim.Stats.Series] which keeps
-    every sample. *)
+    hot-path updates are O(1) field writes guarded by the owning domain's
+    [enabled] flag (embedded in each handle), so the disabled mode costs
+    one dereference and a branch. Histograms are bounded log-bucket (powers
+    of two) so long chaos soaks cannot grow memory, unlike
+    [Strovl_sim.Stats.Series] which keeps every sample.
+
+    The registry — like all observability state — is {e domain-local}:
+    each domain owns an independent registry, so parallel runs scheduled
+    on a {!Strovl_par.Pool} neither contend on nor leak counts into each
+    other. Handles must be used on the domain that created them. *)
 
 type labels = (string * string) list
 (** Sorted on registration; [("link", "3-7")]-style dimensions. *)
 
-val enabled : bool ref
-(** When [false] every update is a no-op. Default [true] — the counters are
-    the cheap always-available layer; flip off for microbenchmarks. *)
+val enabled : unit -> bool
+(** This domain's armed flag. Default [true] — the counters are the cheap
+    always-available layer; flip off for microbenchmarks. *)
+
+val set_enabled : bool -> unit
+(** When [false] every update on this domain is a no-op. *)
 
 module Counter : sig
   type t
@@ -71,3 +79,9 @@ val find_counter : ?labels:labels -> string -> int
 
 val reset : unit -> unit
 (** Zeroes every registered metric (handles stay valid). *)
+
+val purge : unit -> unit
+(** Forgets this domain's registry entirely and re-enables updates:
+    existing handles keep working but are no longer reachable from
+    [dump]/[find_counter]. Used by {!Ctx.fresh} to give each scheduled run
+    a pristine registry. *)

@@ -2,15 +2,27 @@
    buckets. The hot path (add/observe) is a handful of integer ops — no
    allocation unless a bucket boundary was crossed — so channels can stay
    armed through soaks. Buckets are aligned to multiples of the window so
-   channels fed at different instants still share bucket edges. *)
+   channels fed at different instants still share bucket edges.
+
+   The registry, armed flag and window geometry are all domain-local (each
+   parallel run samples into its own channels); a channel embeds its
+   owning domain's state so [add] never touches domain-local storage. *)
 
 type labels = (string * string) list
 
 type point = { p_t0 : int; p_n : int; p_sum : int; p_max : int }
 
-type ch = {
+type state = {
+  st_on : bool ref;
+  mutable st_window : int;
+  mutable st_cap : int;
+  st_registry : (string * labels, ch) Hashtbl.t;
+}
+
+and ch = {
   ch_name : string;
   ch_labels : labels;
+  ch_st : state;
   mutable buf : point array;
   mutable head : int; (* next write slot *)
   mutable filled : int;
@@ -21,11 +33,13 @@ type ch = {
   mutable cur_max : int;
 }
 
-let on = ref false
-let window_us = ref 100_000
-let capacity = ref 600
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_on = ref false; st_window = 100_000; st_cap = 600;
+        st_registry = Hashtbl.create 64 })
 
-let registry : (string * labels, ch) Hashtbl.t = Hashtbl.create 64
+let state () = Domain.DLS.get dls
+let armed () = !((state ()).st_on)
 
 let reset_ch ch =
   ch.buf <- [||];
@@ -39,29 +53,33 @@ let reset_ch ch =
 let enable ?(window = 100_000) ?capacity:(cap = 600) () =
   if window < 1 then invalid_arg "Series.enable: window must be positive";
   if cap < 1 then invalid_arg "Series.enable: capacity must be positive";
-  window_us := window;
-  capacity := cap;
-  Hashtbl.iter (fun _ ch -> reset_ch ch) registry;
-  on := true
+  let st = state () in
+  st.st_window <- window;
+  st.st_cap <- cap;
+  Hashtbl.iter (fun _ ch -> reset_ch ch) st.st_registry;
+  st.st_on := true
 
-let disable () = on := false
+let disable () = (state ()).st_on := false
 
-let clear () = Hashtbl.iter (fun _ ch -> reset_ch ch) registry
+let clear () = Hashtbl.iter (fun _ ch -> reset_ch ch) (state ()).st_registry
 
 let reset () =
-  on := false;
-  Hashtbl.reset registry
+  let st = state () in
+  st.st_on := false;
+  Hashtbl.reset st.st_registry
 
 let channel ?(labels = []) name =
+  let st = state () in
   let labels = List.sort compare labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt registry key with
+  match Hashtbl.find_opt st.st_registry key with
   | Some ch -> ch
   | None ->
     let ch =
       {
         ch_name = name;
         ch_labels = labels;
+        ch_st = st;
         buf = [||];
         head = 0;
         filled = 0;
@@ -71,14 +89,14 @@ let channel ?(labels = []) name =
         cur_max = min_int;
       }
     in
-    Hashtbl.replace registry key ch;
+    Hashtbl.replace st.st_registry key ch;
     ch
 
 let flush ch =
   if ch.cur_t0 > min_int && ch.cur_n > 0 then begin
     if Array.length ch.buf = 0 then
       ch.buf <-
-        Array.make !capacity { p_t0 = 0; p_n = 0; p_sum = 0; p_max = 0 };
+        Array.make ch.ch_st.st_cap { p_t0 = 0; p_n = 0; p_sum = 0; p_max = 0 };
     let cap = Array.length ch.buf in
     ch.buf.(ch.head) <-
       { p_t0 = ch.cur_t0; p_n = ch.cur_n; p_sum = ch.cur_sum; p_max = ch.cur_max };
@@ -91,9 +109,9 @@ let flush ch =
   ch.cur_max <- min_int
 
 let add ch v =
-  if !on then begin
+  if !(ch.ch_st.st_on) then begin
     let t = Trace.now () in
-    let t0 = t - (t mod !window_us) in
+    let t0 = t - (t mod ch.ch_st.st_window) in
     if ch.cur_t0 <> t0 then begin
       flush ch;
       ch.cur_t0 <- t0
@@ -120,7 +138,7 @@ let points ch =
   else closed
 
 let channels () =
-  Hashtbl.fold (fun _ ch acc -> ch :: acc) registry []
+  Hashtbl.fold (fun _ ch acc -> ch :: acc) (state ()).st_registry []
   |> List.filter (fun ch -> points ch <> [])
   |> List.sort (fun a b -> compare (a.ch_name, a.ch_labels) (b.ch_name, b.ch_labels))
 

@@ -6,7 +6,11 @@
     (window-aligned, so all channels share bucket edges) and retains the
     most recent [capacity] closed buckets in a ring. Off by default; when
     off, [add] is one [ref] check, so instrumentation sites can stay
-    armed through soaks. *)
+    armed through soaks.
+
+    Channels and the armed flag are {e domain-local}: each parallel run
+    owns its own registry, and a channel must be used on the domain that
+    created it. *)
 
 type labels = (string * string) list
 
@@ -20,9 +24,9 @@ type point = {
 type ch
 (** A channel: one named, labelled series. *)
 
-val on : bool ref
-(** Whether sampling is armed. Hot sites should guard with
-    [if !Series.on then ...] before computing sample values. *)
+val armed : unit -> bool
+(** Whether this domain's sampling is armed. Hot sites should guard with
+    [if Series.armed () then ...] before computing sample values. *)
 
 val enable : ?window:int -> ?capacity:int -> unit -> unit
 (** Arms sampling and clears every channel's data. [window] is the bucket

@@ -41,27 +41,44 @@ type ring = {
   mutable emitted : int; (* records ever emitted *)
 }
 
-let on = ref false
-let ring : ring option ref = ref None
-let clock = ref (fun () -> 0)
-let sink : (record -> unit) option ref = ref None
+(* The recorder — ring, clock hook and streaming sink — is domain-local:
+   each domain (one parallel run at a time) owns an independent flight
+   recorder, so concurrently executing simulations record disjoint streams
+   and per-run digests match a sequential run bit for bit. *)
+type state = {
+  mutable st_armed : bool;
+  mutable st_ring : ring option;
+  mutable st_clock : unit -> int;
+  mutable st_sink : (record -> unit) option;
+}
 
-let set_clock f = clock := f
-let now () = !clock ()
-let set_sink f = sink := Some f
-let clear_sink () = sink := None
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_armed = false; st_ring = None; st_clock = (fun () -> 0);
+        st_sink = None })
+
+let state () = Domain.DLS.get dls
+
+let armed () = (state ()).st_armed
+let set_clock f = (state ()).st_clock <- f
+let now () = (state ()).st_clock ()
+let set_sink f = (state ()).st_sink <- Some f
+let clear_sink () = (state ()).st_sink <- None
 
 let enable ?(capacity = 1 lsl 18) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity must be positive";
-  ring := Some { buf = Array.make capacity dummy; next = 0; filled = 0; emitted = 0 };
-  on := true
+  let st = state () in
+  st.st_ring <-
+    Some { buf = Array.make capacity dummy; next = 0; filled = 0; emitted = 0 };
+  st.st_armed <- true
 
 let disable () =
-  on := false;
-  ring := None
+  let st = state () in
+  st.st_armed <- false;
+  st.st_ring <- None
 
 let clear () =
-  match !ring with
+  match (state ()).st_ring with
   | None -> ()
   | Some r ->
     r.next <- 0;
@@ -69,22 +86,23 @@ let clear () =
     r.emitted <- 0
 
 let emit ?(flow = no_flow) ?(seq = -1) ~node ev =
-  match !ring with
+  let st = state () in
+  match st.st_ring with
   | None -> ()
   | Some r ->
     let cap = Array.length r.buf in
-    let rc = { ts = !clock (); node; flow; seq; ev } in
+    let rc = { ts = st.st_clock (); node; flow; seq; ev } in
     r.buf.(r.next) <- rc;
     r.next <- (r.next + 1) mod cap;
     if r.filled < cap then r.filled <- r.filled + 1;
     r.emitted <- r.emitted + 1;
-    (match !sink with None -> () | Some f -> f rc)
+    (match st.st_sink with None -> () | Some f -> f rc)
 
-let length () = match !ring with None -> 0 | Some r -> r.filled
-let total () = match !ring with None -> 0 | Some r -> r.emitted
+let length () = match (state ()).st_ring with None -> 0 | Some r -> r.filled
+let total () = match (state ()).st_ring with None -> 0 | Some r -> r.emitted
 
 let iter f =
-  match !ring with
+  match (state ()).st_ring with
   | None -> ()
   | Some r ->
     let cap = Array.length r.buf in

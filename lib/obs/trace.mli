@@ -1,8 +1,12 @@
 (** Flight-recorder tracing: a bounded ring buffer of typed overlay events.
 
-    The recorder is process-wide and off by default; when off, the hot-path
-    cost at an instrumentation site is one [ref] dereference (sites guard
-    with [if !on then emit ...]). When on, every event records who
+    The recorder is {e domain-local} and off by default: each domain owns
+    an independent ring, clock hook and sink, so parallel runs on a
+    {!Strovl_par.Pool} record disjoint streams whose digests match a
+    sequential run exactly. When off, the hot-path cost at an
+    instrumentation site is one domain-local-storage read and a branch
+    (sites guard with [if armed () then emit ...]). When on, every event
+    records who
     ([node]), what ([event]), which packet ([flow], [seq]) and when
     (sim-time, read from the clock hook the simulation engine installs), so
     a packet's full causal path through the overlay — enqueue, per-hop
@@ -66,9 +70,10 @@ type record = {
   ev : event;
 }
 
-val on : bool ref
-(** Whether the recorder is armed. Instrumentation sites must check this
-    before building event arguments so the disabled path stays free. *)
+val armed : unit -> bool
+(** Whether this domain's recorder is armed. Instrumentation sites must
+    check this before building event arguments so the disabled path stays
+    cheap. *)
 
 val set_clock : (unit -> int) -> unit
 (** Installed by the simulation engine: how [emit] reads the current

@@ -1,0 +1,70 @@
+(* Fixed-size domain pool with deterministic result ordering.
+
+   [map] fans an array of jobs over at most [jobs] worker domains. Workers
+   claim job indices from a single atomic counter (work-stealing by index),
+   and each outcome is written to its job's own slot, so the result array
+   is in input order no matter which domain ran what or in what order jobs
+   finished. A job that raises is captured per-slot as [Failed] — it
+   neither kills its worker (which moves on to the next index) nor
+   disturbs sibling jobs.
+
+   The pool itself knows nothing about observability: callers that need
+   per-run isolated state wrap their job function (see Strovl_obs.Ctx and
+   Strovl_expt.run_isolated). With [jobs <= 1], or a single job, [map]
+   runs everything inline on the calling domain through the exact same
+   claim/capture loop, so a sequential run exercises the same code path as
+   a parallel one — the basis of the [-j 1] vs [-j N] byte-identity
+   contract. *)
+
+type 'a outcome = Done of 'a | Failed of { exn : string; backtrace : string }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The shared claim-and-run loop. [next] hands out job indices; slot [i] of
+   [results] is owned by whoever claimed [i], so the only shared mutable
+   word is the counter itself. *)
+let worker_loop ~next ~n ~f ~jobs_arr ~results =
+  let rec go () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      (results.(i) <-
+         (try Done (f i jobs_arr.(i))
+          with e ->
+            let backtrace = Printexc.get_backtrace () in
+            Failed { exn = Printexc.to_string e; backtrace }));
+      go ()
+    end
+  in
+  go ()
+
+let map ?jobs f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match jobs with None -> default_jobs () | Some j -> max 1 j
+    in
+    let nworkers = min jobs n in
+    let next = Atomic.make 0 in
+    let results =
+      Array.make n (Failed { exn = "Pool.map: job never ran"; backtrace = "" })
+    in
+    if nworkers <= 1 then
+      worker_loop ~next ~n ~f ~jobs_arr:arr ~results
+    else begin
+      let domains =
+        Array.init nworkers (fun _ ->
+            Domain.spawn (fun () ->
+                worker_loop ~next ~n ~f ~jobs_arr:arr ~results))
+      in
+      Array.iter Domain.join domains
+    end;
+    results
+  end
+
+let outcome_exn = function
+  | Done v -> v
+  | Failed { exn; backtrace } ->
+    failwith
+      (if backtrace = "" then exn
+       else Printf.sprintf "%s\n%s" exn backtrace)

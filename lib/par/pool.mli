@@ -1,0 +1,26 @@
+(** Fixed-size domain pool with deterministic result ordering.
+
+    Jobs are claimed by index from an atomic counter and each outcome is
+    written to its own slot, so results come back in input order
+    regardless of scheduling. The pool is observability-agnostic; callers
+    wanting per-run isolated state wrap their job function (see
+    {!Strovl_obs.Ctx}). *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { exn : string; backtrace : string }
+      (** The job raised; the failure is captured per-slot and sibling
+          jobs are unaffected. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b outcome array
+(** [map ~jobs f arr] computes [f i arr.(i)] for every [i] on at most
+    [jobs] domains (default {!default_jobs}; values [<= 1] — and
+    single-job inputs — run inline on the calling domain through the same
+    claim/capture loop, with no domain spawned). *)
+
+val outcome_exn : 'a outcome -> 'a
+(** Unwraps [Done], re-raises [Failed] as a [Failure] carrying the
+    original exception text and backtrace. *)

@@ -1,0 +1,6 @@
+(** Domain-parallel run scheduling: a fixed-size {!Pool} of worker domains
+    with index-ordered (deterministic) results and per-job failure
+    capture. Generic over the work — the experiment drivers combine it
+    with {!Strovl_obs.Ctx} to make each run a self-contained unit. *)
+
+module Pool = Pool

@@ -30,9 +30,9 @@ let metrics_counters_and_labels () =
 let metrics_disabled_is_noop () =
   M.reset ();
   let c = M.counter "obs_test_gate" in
-  M.enabled := false;
+  M.set_enabled false;
   M.Counter.incr c;
-  M.enabled := true;
+  M.set_enabled true;
   check_int "no update while disabled" 0 (M.Counter.value c);
   M.Counter.incr c;
   check_int "updates resume" 1 (M.Counter.value c)
@@ -54,7 +54,7 @@ let metrics_histogram_quantiles () =
 
 let trace_off_by_default () =
   T.disable ();
-  check_bool "off" false !T.on;
+  check_bool "off" false (T.armed ());
   T.emit ~node:0 T.Lsu_flood;
   check_int "no events recorded" 0 (T.total ())
 

@@ -1,0 +1,142 @@
+(* Tests for the domain pool (Strovl_par.Pool) and its determinism
+   contract: pool-scheduled experiment runs must produce byte-identical
+   tables and trace digests to a sequential run. *)
+
+module Pool = Strovl_par.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------ pool basics ---------------------------- *)
+
+let pool_ordering () =
+  (* Results land in input order regardless of the worker count. *)
+  let input = Array.init 37 Fun.id in
+  List.iter
+    (fun jobs ->
+      let out = Pool.map ~jobs (fun i x -> (i, x * x)) input in
+      check_int "length" 37 (Array.length out);
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Pool.Done (j, sq) ->
+            check_int "index passed through" i j;
+            check_int "slot order" (i * i) sq
+          | Pool.Failed _ -> Alcotest.fail "job failed")
+        out)
+    [ 1; 2; 4; 64 ]
+
+let pool_empty_and_singleton () =
+  check_int "empty" 0 (Array.length (Pool.map ~jobs:4 (fun _ x -> x) [||]));
+  match Pool.map ~jobs:4 (fun _ x -> x + 1) [| 41 |] with
+  | [| Pool.Done 42 |] -> ()
+  | _ -> Alcotest.fail "singleton"
+
+let pool_failure_isolation () =
+  (* A raising job is captured in its own slot; every sibling still runs
+     and completes, on every worker count. *)
+  let input = Array.init 20 Fun.id in
+  List.iter
+    (fun jobs ->
+      let out =
+        Pool.map ~jobs
+          (fun _ x ->
+            if x = 7 then failwith "job seven exploded";
+            x * 10)
+          input
+      in
+      Array.iteri
+        (fun i o ->
+          match (i, o) with
+          | 7, Pool.Failed { exn; _ } ->
+            check_bool "message preserved" true
+              (let needle = "job seven exploded" in
+               let n = String.length exn and m = String.length needle in
+               let rec go k =
+                 k + m <= n && (String.sub exn k m = needle || go (k + 1))
+               in
+               go 0)
+          | 7, Pool.Done _ -> Alcotest.fail "job 7 should have failed"
+          | i, Pool.Done v -> check_int "sibling unaffected" (i * 10) v
+          | _, Pool.Failed { exn; _ } -> Alcotest.fail ("sibling failed: " ^ exn))
+        out)
+    [ 1; 2; 4 ]
+
+let pool_outcome_exn () =
+  check_int "done unwraps" 3 (Pool.outcome_exn (Pool.Done 3));
+  Alcotest.check_raises "failed raises" (Failure "boom") (fun () ->
+      ignore (Pool.outcome_exn (Pool.Failed { exn = "boom"; backtrace = "" })))
+
+(* --------------------- parallel determinism contract -------------------- *)
+
+(* `run all -j 4` must produce bit-identical tables AND trace digests to
+   `-j 1` with the same seed: per-run contexts make a run's output
+   independent of which domain executed it and what ran there before. *)
+let parallel_determinism () =
+  let seed = 3L in
+  let render outcomes =
+    Array.to_list outcomes
+    |> List.map (fun o ->
+           let table, digest = Pool.outcome_exn o in
+           Printf.sprintf "%s digest=%Lx" (Strovl_expt.Table.to_json table)
+             (Option.value ~default:0L digest))
+  in
+  let seq =
+    render (Strovl_expt.run_many ~jobs:1 ~quick:true ~traced:true ~seed Strovl_expt.all)
+  in
+  let par =
+    render (Strovl_expt.run_many ~jobs:4 ~quick:true ~traced:true ~seed Strovl_expt.all)
+  in
+  check_int "same experiment count" (List.length seq) (List.length par);
+  List.iteri
+    (fun i (s, p) -> check_string (Printf.sprintf "experiment %d" i) s p)
+    (List.combine seq par);
+  (* The digests must be real fingerprints, not all-empty rings. *)
+  check_bool "some experiment produced trace events" true
+    (List.exists (fun s -> not (String.length s = 0)) seq
+    && List.exists
+         (fun s ->
+           match String.rindex_opt s '=' with
+           | Some i -> String.sub s (i + 1) (String.length s - i - 1) <> "0"
+           | None -> false)
+         seq)
+
+(* Two runs scheduled one after the other on the same domain see fresh
+   observability state: handles created by the first are gone, counts do
+   not leak into the second. *)
+let same_domain_isolation () =
+  let counts =
+    Pool.map ~jobs:1
+      (fun _ () ->
+        Strovl_obs.Ctx.isolate (fun () ->
+            let c = Strovl_obs.Metrics.counter "par_test_leak" in
+            Strovl_obs.Metrics.Counter.add c 5;
+            Strovl_obs.Metrics.find_counter "par_test_leak"))
+      [| (); (); () |]
+  in
+  Array.iter
+    (fun o -> check_int "each run counts only itself" 5 (Pool.outcome_exn o))
+    counts;
+  check_int "nothing leaked to the caller" 0
+    (Strovl_obs.Metrics.find_counter "par_test_leak")
+
+let () =
+  Alcotest.run "strovl_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic ordering" `Quick pool_ordering;
+          Alcotest.test_case "empty and singleton" `Quick pool_empty_and_singleton;
+          Alcotest.test_case "per-job failure isolation" `Quick
+            pool_failure_isolation;
+          Alcotest.test_case "outcome_exn" `Quick pool_outcome_exn;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "run all -j 4 == -j 1 (tables + digests)" `Slow
+            parallel_determinism;
+          Alcotest.test_case "same-domain run isolation" `Quick
+            same_domain_isolation;
+        ] );
+    ]
