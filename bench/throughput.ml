@@ -191,6 +191,195 @@ let forward_path_ns ~quick () =
   done;
   (!best_ns, !total_words /. float_of_int (blocks * iters))
 
+(* --------------------- wall-clock runtime loopback -------------------- *)
+
+(* The real-UDP analogues of the forwarding benchmarks: what the identical
+   stack costs when datagrams cross actual kernel sockets instead of
+   simulated links. Two numbers:
+
+   - rt-udp-echo: raw socket + codec round trip (encode, sendto, select,
+     recvfrom, decode, and back) between two loopback sockets — the floor
+     any overlay hop pays before protocol work.
+
+   - rt-loopback-forward: end-to-end packets/s through a 3-daemon line
+     overlay (0-1-2) on one wall-clock runtime, session client to session
+     client, reliable service — every real-path layer at once (datagram
+     framing, select loop, link protocols, routing, session delivery). *)
+
+type rt_bench = {
+  rt_echo_rtt_us : float;
+  rt_echo_per_sec : float;
+  rt_fwd_delivered : int;
+  rt_fwd_wall_s : float;
+  rt_fwd_per_sec : float;
+}
+
+let rt_udp_echo ~quick () =
+  let module Udp = Strovl_rt.Udp in
+  let module Wire = Strovl.Wire in
+  let a = Udp.bind ~host:"127.0.0.1" ~port:0 in
+  let b = Udp.bind ~host:"127.0.0.1" ~port:0 in
+  let addr s = Unix.ADDR_INET (Unix.inet_addr_loopback, Udp.port s) in
+  let addr_a = addr a and addr_b = addr b in
+  let await sock =
+    match Unix.select [ Udp.fd sock ] [] [] 1.0 with
+    | [], _, _ -> failwith "rt-udp-echo: datagram lost on loopback"
+    | _ -> ()
+  in
+  let n = if quick then 2_000 else 10_000 in
+  let roundtrip i =
+    let ping =
+      Wire.encode_datagram
+        (Wire.Dg_msg
+           { src = 0; link = 0; msg = Strovl.Msg.Probe { pseq = i; sent_at = i } })
+    in
+    ignore (Udp.sendto a addr_b ping);
+    await b;
+    (match Udp.recvfrom b with
+    | Some (data, from) -> (
+      match Wire.decode_datagram data with
+      | Ok (Wire.Dg_msg { msg = Strovl.Msg.Probe { pseq; sent_at }; _ }) ->
+        ignore
+          (Udp.sendto b from
+             (Wire.encode_datagram
+                (Wire.Dg_msg
+                   {
+                     src = 1;
+                     link = 0;
+                     msg = Strovl.Msg.Probe_ack { pseq; echo = sent_at };
+                   })))
+      | _ -> failwith "rt-udp-echo: bad ping"
+      )
+    | None -> failwith "rt-udp-echo: empty read");
+    await a;
+    match Udp.recvfrom a with
+    | Some (data, _) -> (
+      match Wire.decode_datagram data with
+      | Ok (Wire.Dg_msg { msg = Strovl.Msg.Probe_ack _; _ }) -> ()
+      | _ -> failwith "rt-udp-echo: bad echo")
+    | None -> failwith "rt-udp-echo: empty echo"
+  in
+  ignore addr_a;
+  for i = 1 to 200 do
+    roundtrip i
+  done;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    roundtrip i
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Udp.close a;
+  Udp.close b;
+  (wall *. 1e6 /. float_of_int n, float_of_int n /. wall)
+
+let rt_loopback_forward ~quick () =
+  let module Rt = Strovl_rt in
+  let module Wire = Strovl.Wire in
+  let free_ports n =
+    List.init n (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        let port =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> assert false
+        in
+        Unix.close fd;
+        port)
+  in
+  let topo =
+    match
+      Rt.Topofile.parse
+        (String.concat "\n"
+           (List.mapi
+              (fun i p -> Printf.sprintf "node %d 127.0.0.1:%d" i p)
+              (free_ports 3)
+           @ [ "link 0 1 5 1000"; "link 1 2 5 1000" ]))
+    with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let config =
+    {
+      Strovl.Node.default_config with
+      Strovl.Node.hello_interval = Time.ms 30;
+      hello_timeout = Time.ms 150;
+      proc_delay = 0;
+    }
+  in
+  let rt = Rt.Runtime.create () in
+  let hosts =
+    Array.init 3 (fun id -> Rt.Host.create ~config ~rt ~topo ~id ())
+  in
+  Array.iter Rt.Host.start hosts;
+  let sock = Rt.Udp.bind ~host:"127.0.0.1" ~port:0 in
+  let delivered = ref 0 and opened = ref 0 and acked = ref 0 in
+  Rt.Runtime.watch rt (Rt.Udp.fd sock) (fun () ->
+      Rt.Udp.drain sock ~f:(fun data _ ->
+          match Wire.decode_datagram data with
+          | Ok (Wire.Dg_session (Wire.Session.Deliver _)) -> incr delivered
+          | Ok (Wire.Dg_session (Wire.Session.Open_ok _)) -> incr opened
+          | Ok (Wire.Dg_session (Wire.Session.Sent _)) -> incr acked
+          | _ -> ()));
+  let tell node frame =
+    ignore
+      (Rt.Udp.sendto sock (Rt.Topofile.addr topo node)
+         (Wire.encode_datagram (Wire.Dg_session frame)))
+  in
+  let run_until budget_ms cond =
+    let deadline = Rt.Clock.now_us () + (budget_ms * 1000) in
+    while (not (cond ())) && Rt.Clock.now_us () < deadline do
+      Rt.Runtime.run_for rt (Time.ms 10)
+    done;
+    if not (cond ()) then failwith "rt-loopback-forward: timed out"
+  in
+  (* One client socket plays both roles: receiver session at node 2,
+     sender session at node 0. *)
+  tell 2 (Wire.Session.Open { sport = 9 });
+  tell 0 (Wire.Session.Open { sport = 8 });
+  run_until 3_000 (fun () -> !opened >= 2);
+  let n = if quick then 1_000 else 4_000 in
+  let batch = 100 in
+  let sent = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while !sent < n do
+    let upto = min n (!sent + batch) in
+    while !sent < upto do
+      tell 0
+        (Wire.Session.Send
+           {
+             sport = 8;
+             dest = P.To_node 2;
+             dport = 9;
+             service = P.Reliable;
+             seq = !sent;
+             bytes = 1200;
+             tag = "";
+           });
+      incr sent
+    done;
+    (* Keep the pipe full but bounded: wait until the overlay is within a
+       batch of the injected load before sending more. *)
+    let floor = !sent - batch in
+    run_until 5_000 (fun () -> !delivered >= floor)
+  done;
+  run_until 5_000 (fun () -> !delivered >= n);
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.iter Rt.Host.close hosts;
+  Rt.Udp.close sock;
+  {
+    rt_echo_rtt_us = 0.;
+    rt_echo_per_sec = 0.;
+    rt_fwd_delivered = !delivered;
+    rt_fwd_wall_s = wall;
+    rt_fwd_per_sec = float_of_int !delivered /. wall;
+  }
+
+let rt_loopback ~quick () =
+  let rtt_us, per_sec = rt_udp_echo ~quick () in
+  let fwd = rt_loopback_forward ~quick () in
+  { fwd with rt_echo_rtt_us = rtt_us; rt_echo_per_sec = per_sec }
+
 (* ------------------------- parallel sweep wall ------------------------ *)
 
 (* Wall-clock of the quick experiment suite, sequential vs fanned over the
@@ -264,7 +453,15 @@ let print_sweep s =
     s.s_cores
     (if s.s_cores = 1 then "" else "s")
 
-let json_of_results results (fwd_ns, fwd_words) sweep =
+let print_rt rt =
+  Printf.printf
+    "%-24s %10.1f us RTT  (%.0f roundtrips/s raw socket+codec)\n"
+    "rt-udp-echo" rt.rt_echo_rtt_us rt.rt_echo_per_sec;
+  Printf.printf
+    "%-24s %10.0f pkts/s  (%d delivered end-to-end, %.2fs wall)\n"
+    "rt-loopback-forward" rt.rt_fwd_per_sec rt.rt_fwd_delivered rt.rt_fwd_wall_s
+
+let json_of_results results (fwd_ns, fwd_words) rt sweep =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"strovl-bench-v1\",\n";
   Buffer.add_string b baseline_json;
@@ -284,6 +481,16 @@ let json_of_results results (fwd_ns, fwd_words) sweep =
        "    \"forward-path-SEA-MIA-4hops\": { \"ns_per_op\": %.0f, \
         \"minor_words_per_op\": %.1f },\n"
        fwd_ns fwd_words);
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"rt-udp-echo\": { \"rtt_us\": %.1f, \"roundtrips_per_sec\": \
+        %.0f },\n"
+       rt.rt_echo_rtt_us rt.rt_echo_per_sec);
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"rt-loopback-forward\": { \"pkts_per_wall_sec\": %.0f, \
+        \"delivered\": %d, \"wall_s\": %.3f },\n"
+       rt.rt_fwd_per_sec rt.rt_fwd_delivered rt.rt_fwd_wall_s);
   Buffer.add_string b
     (Printf.sprintf
        "    \"sweep-wall-quick-suite\": { \"seq_wall_s\": %.3f, \
@@ -307,12 +514,14 @@ let () =
   let ((fwd_ns, fwd_words) as fwd) = forward_path_ns ~quick () in
   Printf.printf "%-24s %10.1f ns/op   (%.1f minor words/op)\n"
     "forward-path-4hops" fwd_ns fwd_words;
+  let rt = rt_loopback ~quick () in
+  print_rt rt;
   let sweep = sweep_wall () in
   print_sweep sweep;
   match !json_path with
   | None -> ()
   | Some path ->
     let oc = open_out path in
-    output_string oc (json_of_results results fwd sweep);
+    output_string oc (json_of_results results fwd rt sweep);
     close_out oc;
     Printf.printf "wrote %s\n" path

@@ -45,7 +45,9 @@ let run_experiments ids quick seed json jobs =
      the runner must not mistake a typo for a clean pass. *)
   if !unknown || !failed then 1 else 0
 
-(* "a..b" (inclusive), "a,b,c", or a single seed. *)
+(* "a..b" (inclusive), "a,b,c", or a single seed. Errors are specific —
+   a descending range in particular must not be mistaken for an empty
+   sweep. *)
 let parse_seeds s =
   let int64 x = Int64.of_string_opt (String.trim x) in
   match String.index_opt s '.' with
@@ -54,17 +56,24 @@ let parse_seeds s =
          && s.[i + 1] = '.'
          && (not (String.contains s ',')) -> begin
     match (int64 (String.sub s 0 i), int64 (String.sub s (i + 2) (String.length s - i - 2))) with
-    | Some a, Some b when a <= b ->
+    | Some a, Some b when a > b ->
+      Error
+        (Printf.sprintf
+           "descending seed range %S is empty — did you mean %Ld..%Ld?" s b a)
+    | Some a, Some b ->
       let n = Int64.to_int (Int64.sub b a) + 1 in
-      if n > 10_000 then None
-      else Some (List.init n (fun k -> Int64.add a (Int64.of_int k)))
-    | _ -> None
+      if n > 10_000 then
+        Error (Printf.sprintf "seed range %S spans %d seeds (max 10000)" s n)
+      else Ok (List.init n (fun k -> Int64.add a (Int64.of_int k)))
+    | _ -> Error (Printf.sprintf "bad seed range %S (want a..b)" s)
   end
   | _ ->
     let parts = String.split_on_char ',' s in
     let seeds = List.filter_map int64 parts in
-    if List.length seeds = List.length parts && seeds <> [] then Some seeds
-    else None
+    if List.length seeds = List.length parts && seeds <> [] then Ok seeds
+    else
+      Error
+        (Printf.sprintf "bad --seeds %S (want a..b, a,b,c or a single seed)" s)
 
 let sweep_experiment id seeds_spec quick json jobs per_seed =
   match Strovl_expt.find id with
@@ -73,11 +82,10 @@ let sweep_experiment id seeds_spec quick json jobs per_seed =
     1
   | Some e -> begin
     match parse_seeds seeds_spec with
-    | None ->
-      Printf.eprintf "bad --seeds %S (want a..b, a,b,c or a single seed)\n"
-        seeds_spec;
+    | Error e ->
+      Printf.eprintf "%s\n" e;
       1
-    | Some seeds ->
+    | Ok seeds ->
       let outcomes = Strovl_expt.sweep ~jobs ~quick e ~seeds in
       let tables = ref [] in
       let failed = ref false in

@@ -121,6 +121,35 @@ let links_main id quick seed capacity =
       (Export.links_table ());
     0
 
+(* One line per experiment: the run's trace-digest determinism fingerprint.
+   Runs under Ctx.isolate exactly like `strovl_run -j N` workers do, so the
+   digest matches the pooled runners and is stable across invocations at a
+   fixed seed — @smoke diffs this output against a committed snapshot to
+   prove a refactor left the simulated fast path byte-identical. *)
+let digest_main ids quick seed =
+  let unknown = ref false in
+  let targets =
+    if ids = [] then Strovl_expt.all
+    else
+      List.filter_map
+        (fun id ->
+          match Strovl_expt.find id with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment: %s (try `strovl_trace list`)\n"
+              id;
+            unknown := true;
+            None)
+        ids
+  in
+  List.iter
+    (fun (e : Strovl_expt.experiment) ->
+      match Strovl_expt.run_isolated ~quick ~traced:true ~seed e with
+      | _, Some d -> Printf.printf "%-18s %016Lx\n" e.Strovl_expt.id d
+      | _, None -> Printf.printf "%-18s (no digest)\n" e.Strovl_expt.id)
+    targets;
+  if !unknown then 1 else 0
+
 let summary_main id quick seed capacity json =
   match traced_run id quick seed capacity with
   | None -> 1
@@ -193,6 +222,18 @@ let summary_cmd =
     (Cmd.info "summary" ~doc)
     Term.(const summary_main $ id_arg $ quick $ seed $ capacity $ json)
 
+let digest_cmd =
+  let ids =
+    let doc = "Experiment ids to fingerprint (default: the whole suite)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let doc =
+    "print each experiment's deterministic trace digest (one line per id)"
+  in
+  Cmd.v
+    (Cmd.info "digest" ~doc)
+    Term.(const digest_main $ ids $ quick $ seed)
+
 let list_cmd =
   let doc = "list the experiments this tool can trace" in
   Cmd.v
@@ -207,6 +248,6 @@ let main =
   let doc = "flight-recorder tracing for the overlay experiments" in
   Cmd.group
     (Cmd.info "strovl_trace" ~doc)
-    [ run_cmd; path_cmd; drops_cmd; links_cmd; summary_cmd; list_cmd ]
+    [ run_cmd; path_cmd; drops_cmd; links_cmd; summary_cmd; digest_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

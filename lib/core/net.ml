@@ -134,8 +134,13 @@ let create ?(config = default_config) ?underlay engine spec =
                     apply_tap dst `In msg (fun msg ->
                         Node.receive t.nodes.(dst) ~link:l msg)))
         in
-        Node.attach_link t.nodes.(src) ~link:l ~neighbor:dst
-          ~bandwidth_bps:config.link.Link.bandwidth_bps ~xmit
+        Transport.attach t.nodes.(src)
+          {
+            Transport.ep_link = l;
+            ep_peer = dst;
+            ep_bandwidth_bps = config.link.Link.bandwidth_bps;
+            ep_xmit = xmit;
+          }
       in
       wire a b;
       wire b a)

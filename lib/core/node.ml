@@ -153,6 +153,7 @@ type t = {
   om : metrics;
   mutable suspect_hook : int -> unit;
   mutable started : bool;
+  mutable stopped : bool;
   mutable cpu_busy_until : Time.t; (* finite-capacity CPU server (§II-D) *)
   (* Time-series channels (Strovl_obs.Series; off by default). *)
   s_delivered : Strovl_obs.Series.ch;
@@ -213,6 +214,7 @@ let create ?(config = default_config) ?registry ~engine ~graph ~id ~metric () =
       };
     suspect_hook = (fun _ -> ());
     started = false;
+    stopped = false;
     cpu_busy_until = Time.zero;
     s_delivered =
       Strovl_obs.Series.channel
@@ -793,6 +795,7 @@ let proto_recv t ep cls msg =
 let receive t ~link msg =
   match ep_for t link with
   | None -> ()
+  | Some _ when t.stopped -> ()
   | Some ep -> begin
     match msg with
     | Msg.Hello { hseq; sent_at } -> handle_hello t ep hseq sent_at
@@ -919,16 +922,33 @@ let start t =
         | Some pcfg -> start_probe t ep pcfg
         | None -> ());
         let rec tick () =
-          hello_tick t ep ();
-          ignore (Engine.schedule t.engine ~delay:t.cfg.hello_interval tick)
+          if not t.stopped then begin
+            hello_tick t ep ();
+            ignore (Engine.schedule t.engine ~delay:t.cfg.hello_interval tick)
+          end
         in
         tick ())
       t.endpoints;
     let rec refresh () =
-      flood_local_update t (Some (Conn_graph.refresh_lsu t.conn_graph));
-      ignore (Engine.schedule t.engine ~delay:t.cfg.lsu_refresh refresh)
+      if not t.stopped then begin
+        flood_local_update t (Some (Conn_graph.refresh_lsu t.conn_graph));
+        ignore (Engine.schedule t.engine ~delay:t.cfg.lsu_refresh refresh)
+      end
     in
     ignore (Engine.schedule t.engine ~delay:t.cfg.lsu_refresh refresh)
+  end
+
+(* Shutdown for hosts whose engine outlives the node (the wall-clock
+   runtime, the in-process loopback tests): periodic loops stop
+   rescheduling, probing is cancelled, and arriving wire messages are
+   dropped at the door. Pending one-shot events fire as no-ops. *)
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Hashtbl.iter
+      (fun _ ep ->
+        match ep.ep_probe with Some p -> Probe_link.stop p | None -> ())
+      t.endpoints
   end
 
 let register_session t ~port ~deliver = Hashtbl.replace t.sessions port deliver

@@ -110,6 +110,13 @@ val start : t -> unit
 (** Begins the hello protocol and periodic LSU refresh on every attached
     link. *)
 
+val stop : t -> unit
+(** Shuts the node down in place: hello/LSU loops stop rescheduling, link
+    probing is cancelled, and subsequent {!receive} calls are dropped.
+    For hosts whose engine outlives the node — the wall-clock runtime
+    closing a daemon, or tests killing one node of an in-process overlay.
+    Irreversible. *)
+
 val receive : t -> link:int -> Msg.t -> unit
 (** Entry point for wire messages from the attached links. *)
 

@@ -28,6 +28,7 @@ type t = {
   mutable on_update : Health.t -> unit;
   mutable on_verdict : alive:bool -> unit;
   mutable started : bool;
+  mutable pending : Engine.handle option; (* the next scheduled tick *)
 }
 
 let create ?(config = default_config) ctx =
@@ -47,6 +48,7 @@ let create ?(config = default_config) ctx =
     on_update = (fun _ -> ());
     on_verdict = (fun ~alive:_ -> ());
     started = false;
+    pending = None;
   }
 
 let health t = t.health
@@ -98,7 +100,17 @@ let start t =
     t.started <- true;
     let rec loop () =
       tick t ();
-      ignore (Engine.schedule t.ctx.Lproto.engine ~delay:t.cfg.period loop)
+      t.pending <-
+        Some (Engine.schedule t.ctx.Lproto.engine ~delay:t.cfg.period loop)
     in
     loop ()
+  end
+
+let stop t =
+  if t.started then begin
+    t.started <- false;
+    (match t.pending with
+    | Some h -> Engine.cancel t.ctx.Lproto.engine h
+    | None -> ());
+    t.pending <- None
   end

@@ -32,6 +32,11 @@ val create : ?config:config -> Lproto.ctx -> t
 val start : t -> unit
 (** Begins the periodic probe loop (idempotent). *)
 
+val stop : t -> unit
+(** Ends the probe loop: the pending tick fires as a no-op and nothing is
+    rescheduled. Used by the real-time runtime when a daemon shuts an
+    endpoint down; a stopped prober can be restarted. *)
+
 val handle_ack : t -> pseq:int -> echo:Strovl_sim.Time.t -> unit
 (** Feeds a received [Msg.Probe_ack]: RTT sample from [echo], liveness,
     loss accounting. *)

@@ -32,6 +32,7 @@ module It_priority = It_priority
 module It_reliable = It_reliable
 module Fec_link = Fec_link
 module Node = Node
+module Transport = Transport
 module Net = Net
 module Client = Client
 module E2e = E2e

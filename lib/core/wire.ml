@@ -417,3 +417,201 @@ let header_size = function
     12 + List.fold_left (fun acc p -> acc + packet_size p) 0 blk_pkts
 
 let size msg = header_size msg + payload_bytes msg
+
+(* --------------------- session frames (client <-> daemon) -------------- *)
+
+module Session = struct
+  type frame =
+    | Open of { sport : int }
+    | Open_ok of { node : int; sport : int }
+    | Join of { group : int; sport : int }
+    | Leave of { group : int; sport : int }
+    | Send of {
+        sport : int;
+        dest : Packet.dest;
+        dport : int;
+        service : Packet.service;
+        seq : int;
+        bytes : int;
+        tag : string;
+      }
+    | Sent of { sport : int; seq : int; accepted : bool }
+    | Deliver of { sport : int; at : int; pkt : Packet.t }
+    | Stats_req of { what : int }
+    | Stats of { json : string }
+    | Close of { sport : int }
+
+  let encode frame =
+    let b = Buffer.create 64 in
+    (match frame with
+    | Open { sport } ->
+      put_u8 b 1;
+      put_u32 b sport
+    | Open_ok { node; sport } ->
+      put_u8 b 2;
+      put_u16 b node;
+      put_u32 b sport
+    | Join { group; sport } ->
+      put_u8 b 3;
+      put_u32 b group;
+      put_u32 b sport
+    | Leave { group; sport } ->
+      put_u8 b 4;
+      put_u32 b group;
+      put_u32 b sport
+    | Send { sport; dest; dport; service; seq; bytes; tag } ->
+      put_u8 b 5;
+      put_u32 b sport;
+      put_dest b dest;
+      put_u32 b dport;
+      put_service b service;
+      put_u32 b seq;
+      put_u32 b bytes;
+      put_string b tag
+    | Sent { sport; seq; accepted } ->
+      put_u8 b 6;
+      put_u32 b sport;
+      put_u32 b seq;
+      put_bool b accepted
+    | Deliver { sport; at; pkt } ->
+      put_u8 b 7;
+      put_u32 b sport;
+      put_i64 b at;
+      put_packet b pkt
+    | Stats_req { what } ->
+      put_u8 b 8;
+      put_u8 b what
+    | Stats { json } ->
+      put_u8 b 9;
+      put_string b json
+    | Close { sport } ->
+      put_u8 b 10;
+      put_u32 b sport);
+    Buffer.contents b
+
+  (* Decodes one frame from the cursor; the caller owns the trailing-bytes
+     check so the frame can be embedded in a larger datagram. *)
+  let get_frame c =
+    match get_u8 c with
+    | 1 -> Open { sport = get_u32 c }
+    | 2 ->
+      let node = get_u16 c in
+      let sport = get_u32 c in
+      Open_ok { node; sport }
+    | 3 ->
+      let group = get_u32 c in
+      let sport = get_u32 c in
+      Join { group; sport }
+    | 4 ->
+      let group = get_u32 c in
+      let sport = get_u32 c in
+      Leave { group; sport }
+    | 5 ->
+      let sport = get_u32 c in
+      let dest = get_dest c in
+      let dport = get_u32 c in
+      let service = get_service c in
+      let seq = get_u32 c in
+      let bytes = get_u32 c in
+      let tag = get_string c in
+      Send { sport; dest; dport; service; seq; bytes; tag }
+    | 6 ->
+      let sport = get_u32 c in
+      let seq = get_u32 c in
+      let accepted = get_bool c in
+      Sent { sport; seq; accepted }
+    | 7 ->
+      let sport = get_u32 c in
+      let at = get_time c in
+      let pkt = get_packet c in
+      Deliver { sport; at; pkt }
+    | 8 -> Stats_req { what = get_u8 c }
+    | 9 -> Stats { json = get_string c }
+    | 10 -> Close { sport = get_u32 c }
+    | t -> raise (Bad (Printf.sprintf "unknown session frame tag %d" t))
+
+  let decode data =
+    try
+      let c = { data; pos = 0 } in
+      let f = get_frame c in
+      if c.pos <> String.length data then raise (Bad "trailing bytes");
+      Ok f
+    with
+    | Bad e -> Error e
+    | Invalid_argument e -> Error e
+
+  let strlen s = Stdlib.min (String.length s) 0xffff
+
+  let size = function
+    | Open _ | Close _ -> 5
+    | Open_ok _ -> 7
+    | Join _ | Leave _ -> 9
+    | Send { service; tag; _ } -> 24 + service_size service + strlen tag
+    | Sent _ -> 10
+    | Deliver { pkt; _ } -> 13 + packet_size pkt
+    | Stats_req _ -> 2
+    | Stats { json } -> 3 + strlen json
+end
+
+(* --------------------------- UDP datagrams ---------------------------- *)
+
+(* Framing for real sockets: a 4-byte preamble (magic, version, kind)
+   distinguishing overlay traffic from session traffic, then the encoded
+   message. Overlay datagrams name the sending node and the overlay link
+   they travel on, so the receiving daemon can dispatch into
+   [Node.receive ~link] and sanity-check the sender. As everywhere in this
+   reproduction, application payload is represented by its byte count; a
+   deployment would append [payload_bytes] of application data after these
+   headers. *)
+
+let magic0 = 'S'
+let magic1 = 'o'
+let version = 1
+
+type datagram =
+  | Dg_msg of { src : int; link : int; msg : Msg.t }
+  | Dg_session of Session.frame
+
+let encode_datagram dg =
+  let b = Buffer.create 80 in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  put_u8 b version;
+  (match dg with
+  | Dg_msg { src; link; msg } ->
+    put_u8 b 0;
+    put_u16 b src;
+    put_u16 b link;
+    Buffer.add_string b (encode msg)
+  | Dg_session frame ->
+    put_u8 b 1;
+    Buffer.add_string b (Session.encode frame));
+  Buffer.contents b
+
+let decode_datagram data =
+  try
+    let c = { data; pos = 0 } in
+    need c 4;
+    if data.[0] <> magic0 || data.[1] <> magic1 then raise (Bad "bad magic");
+    c.pos <- 2;
+    let v = get_u8 c in
+    if v <> version then raise (Bad (Printf.sprintf "unknown version %d" v));
+    match get_u8 c with
+    | 0 ->
+      let src = get_u16 c in
+      let link = get_u16 c in
+      let msg = decode_exn c in
+      (* [decode_exn] enforces the trailing-bytes check for the tail. *)
+      Ok (Dg_msg { src; link; msg })
+    | 1 ->
+      let f = Session.get_frame c in
+      if c.pos <> String.length data then raise (Bad "trailing bytes");
+      Ok (Dg_session f)
+    | k -> raise (Bad (Printf.sprintf "unknown datagram kind %d" k))
+  with
+  | Bad e -> Error e
+  | Invalid_argument e -> Error e
+
+let datagram_size = function
+  | Dg_msg { msg; _ } -> 8 + header_size msg
+  | Dg_session frame -> 4 + Session.size frame

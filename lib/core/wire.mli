@@ -35,3 +35,66 @@ val size : Msg.t -> int
 (** [header_size m + payload_bytes m]: the exact datagram size, computed
     without encoding. {!Msg.bytes} is a cheap analytic approximation of
     this; the test suite keeps the two within a small tolerance. *)
+
+(** Client ↔ daemon session protocol (the session interface of Figure 2,
+    over the wall-clock runtime's UDP sockets). A client opens a virtual
+    port on its local daemon, optionally joins multicast groups, and
+    injects flows; the daemon answers with acceptance verdicts, delivered
+    packets, and stats snapshots. Frames are carried inside {!datagram}s
+    with kind [Dg_session]. *)
+module Session : sig
+  type frame =
+    | Open of { sport : int }  (** claim virtual port [sport] *)
+    | Open_ok of { node : int; sport : int }
+        (** daemon's ack, naming its overlay node id *)
+    | Join of { group : int; sport : int }
+    | Leave of { group : int; sport : int }
+    | Send of {
+        sport : int;
+        dest : Packet.dest;
+        dport : int;
+        service : Packet.service;
+        seq : int;  (** client-chosen, echoed in [Sent] *)
+        bytes : int;  (** payload size the daemon should originate *)
+        tag : string;  (** free-form flow label, echoed in traces *)
+      }
+    | Sent of { sport : int; seq : int; accepted : bool }
+        (** originate verdict; [accepted = false] is IT-Reliable
+            backpressure *)
+    | Deliver of { sport : int; at : int; pkt : Packet.t }
+        (** a packet for the client's port; [at] is the daemon's receive
+            stamp in engine time (µs) *)
+    | Stats_req of { what : int }
+    | Stats of { json : string }
+    | Close of { sport : int }
+
+  val encode : frame -> string
+  val decode : string -> (frame, error) result
+  (** Never raises; [decode (encode f)] = [Ok f]. *)
+
+  val size : frame -> int
+  (** Exact [String.length (encode f)], computed arithmetically. *)
+end
+
+(** {2 UDP datagram framing}
+
+    What actually crosses a real socket: a 4-byte preamble (2-byte magic,
+    version, kind) followed by one encoded message. Overlay datagrams name
+    the sending node and the overlay link they travel on so the receiving
+    daemon can dispatch into [Node.receive ~link] and sanity-check the
+    sender; session datagrams carry one {!Session.frame}. Application
+    payload is, as everywhere in this reproduction, represented by its byte
+    count — a deployment would append [payload_bytes] of data after the
+    encoded header. *)
+
+type datagram =
+  | Dg_msg of { src : int; link : int; msg : Msg.t }
+  | Dg_session of Session.frame
+
+val encode_datagram : datagram -> string
+val decode_datagram : string -> (datagram, error) result
+(** Never raises on hostile input: bad magic, unknown version or kind,
+    truncation, and trailing bytes all yield [Error]. *)
+
+val datagram_size : datagram -> int
+(** Exact [String.length (encode_datagram d)] without serializing. *)

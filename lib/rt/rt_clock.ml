@@ -1,0 +1,2 @@
+let now_ns () = Monotonic_clock.now ()
+let now_us () = Int64.to_int (Int64.div (now_ns ()) 1000L)

@@ -1,0 +1,169 @@
+open Strovl
+module Metrics = Strovl_obs.Metrics
+
+type t = {
+  rt : Runtime.t;
+  topo : Topofile.t;
+  me : int;
+  node : Node.t;
+  sock : Udp.t;
+  peer_of_link : int option array;
+      (** [peer_of_link.(l)] is the far end of link [l] iff [l] is incident
+          to this node — the validity check for inbound [Dg_msg]s *)
+  peer_addr : Unix.sockaddr option array;
+  sessions : (int, Unix.sockaddr) Hashtbl.t;  (** sport -> client *)
+  m_rx : Metrics.Counter.t;
+  m_tx : Metrics.Counter.t;
+  m_bad : Metrics.Counter.t;  (** undecodable datagrams *)
+  m_misdirected : Metrics.Counter.t;
+      (** well-formed but wrong: unknown/non-incident link, source not the
+          link's far end, or a daemon-bound-only session frame *)
+  mutable closed : bool;
+}
+
+let bindable_host host =
+  (* Bind to the concrete IP when the file gives one; for hostnames bind
+     any-address (the name is for *peers* to find us). *)
+  match Unix.inet_addr_of_string host with
+  | _ -> host
+  | exception Failure _ -> ""
+
+let send_session t addr frame =
+  Metrics.Counter.incr t.m_tx;
+  ignore (Udp.sendto t.sock addr (Wire.encode_datagram (Wire.Dg_session frame)))
+
+let deliver t sport pkt =
+  match Hashtbl.find_opt t.sessions sport with
+  | Some addr ->
+    send_session t addr
+      (Wire.Session.Deliver { sport; at = Runtime.now t.rt; pkt })
+  | None -> ()
+
+let stats_json t =
+  let c = Node.counters t.node in
+  Printf.sprintf
+    {|{"node":%d,"now_us":%d,"forwarded":%d,"delivered":%d,"dropped_no_route":%d,"dropped_ttl":%d,"dropped_auth":%d,"dropped_dup":%d,"dropped_backpressure":%d,"dropped_overload":%d,"lsu_floods":%d,"group_floods":%d,"rx_datagrams":%d,"tx_datagrams":%d,"bad_datagrams":%d,"misdirected":%d,"sessions":%d}|}
+    t.me (Runtime.now t.rt) c.Node.forwarded c.Node.delivered
+    c.Node.dropped_no_route c.Node.dropped_ttl c.Node.dropped_auth
+    c.Node.dropped_dup c.Node.dropped_backpressure c.Node.dropped_overload
+    c.Node.lsu_floods c.Node.group_floods
+    (Metrics.Counter.value t.m_rx)
+    (Metrics.Counter.value t.m_tx)
+    (Metrics.Counter.value t.m_bad)
+    (Metrics.Counter.value t.m_misdirected)
+    (Hashtbl.length t.sessions)
+
+let handle_session t frame from =
+  match frame with
+  | Wire.Session.Open { sport } ->
+    if not (Hashtbl.mem t.sessions sport) then
+      Node.register_session t.node ~port:sport ~deliver:(deliver t sport);
+    Hashtbl.replace t.sessions sport from;
+    send_session t from (Wire.Session.Open_ok { node = t.me; sport })
+  | Join { group; sport } -> Node.join_group t.node ~group ~port:sport
+  | Leave { group; sport } -> Node.leave_group t.node ~group ~port:sport
+  | Send { sport; dest; dport; service; seq; bytes; tag } ->
+    let flow =
+      { Packet.f_src = t.me; f_sport = sport; f_dest = dest; f_dport = dport }
+    in
+    let pkt =
+      Packet.make ~flow ~routing:Packet.Link_state ~service ~seq
+        ~sent_at:(Runtime.now t.rt) ~bytes ~tag ()
+    in
+    let accepted = Node.originate t.node pkt in
+    send_session t from (Wire.Session.Sent { sport; seq; accepted })
+  | Stats_req _ -> send_session t from (Wire.Session.Stats { json = stats_json t })
+  | Close { sport } ->
+    if Hashtbl.mem t.sessions sport then begin
+      Hashtbl.remove t.sessions sport;
+      Node.unregister_session t.node ~port:sport
+    end
+  | Open_ok _ | Sent _ | Deliver _ | Stats _ ->
+    (* client-bound frames have no business arriving at a daemon *)
+    Metrics.Counter.incr t.m_misdirected
+
+let handle_datagram t data from =
+  Metrics.Counter.incr t.m_rx;
+  match Wire.decode_datagram data with
+  | Error _ -> Metrics.Counter.incr t.m_bad
+  | Ok (Wire.Dg_msg { src; link; msg }) -> (
+    match
+      if link >= 0 && link < Array.length t.peer_of_link then
+        t.peer_of_link.(link)
+      else None
+    with
+    | Some peer when peer = src -> Node.receive t.node ~link msg
+    | _ -> Metrics.Counter.incr t.m_misdirected)
+  | Ok (Wire.Dg_session frame) -> handle_session t frame from
+
+let create ?config ~rt ~topo ~id () =
+  let graph = Topofile.graph topo in
+  let node =
+    Node.create ?config ~engine:(Runtime.engine rt) ~graph ~id
+      ~metric:(Topofile.metric topo) ()
+  in
+  let { Topofile.host; port } = topo.Topofile.nodes.(id) in
+  let sock = Udp.bind ~host:(bindable_host host) ~port in
+  let nlinks = Array.length topo.Topofile.links in
+  let labels = [ ("node", string_of_int id) ] in
+  let t =
+    {
+      rt;
+      topo;
+      me = id;
+      node;
+      sock;
+      peer_of_link = Array.make nlinks None;
+      peer_addr = Array.make nlinks None;
+      sessions = Hashtbl.create 8;
+      m_rx = Metrics.counter ~labels "strovl_rt_rx_datagrams_total";
+      m_tx = Metrics.counter ~labels "strovl_rt_tx_datagrams_total";
+      m_bad = Metrics.counter ~labels "strovl_rt_bad_datagrams_total";
+      m_misdirected = Metrics.counter ~labels "strovl_rt_misdirected_total";
+      closed = false;
+    }
+  in
+  List.iter
+    (fun link ->
+      let peer = Strovl_topo.Graph.other_end graph link id in
+      t.peer_of_link.(link) <- Some peer;
+      t.peer_addr.(link) <- Some (Topofile.addr topo peer);
+      Transport.attach node
+        {
+          Transport.ep_link = link;
+          ep_peer = peer;
+          ep_bandwidth_bps = Topofile.bandwidth_bps topo link;
+          ep_xmit =
+            (fun msg ->
+              if not t.closed then begin
+                Metrics.Counter.incr t.m_tx;
+                let addr =
+                  match t.peer_addr.(link) with
+                  | Some a -> a
+                  | None -> assert false
+                in
+                ignore
+                  (Udp.sendto t.sock addr
+                     (Wire.encode_datagram
+                        (Wire.Dg_msg { src = id; link; msg })))
+              end);
+        })
+    (Strovl_topo.Graph.incident graph id);
+  t
+
+let node t = t.node
+let id t = t.me
+let port t = Udp.port t.sock
+
+let start t =
+  Node.start t.node;
+  Runtime.watch t.rt (Udp.fd t.sock) (fun () ->
+      Udp.drain t.sock ~f:(handle_datagram t))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Node.stop t.node;
+    Runtime.unwatch t.rt (Udp.fd t.sock);
+    Udp.close t.sock
+  end

@@ -1,0 +1,140 @@
+type node = { host : string; port : int }
+type link = { a : int; b : int; metric_ms : int; mbps : int }
+type t = { nodes : node array; links : link array }
+
+let ( let* ) = Result.bind
+
+let err lineno fmt =
+  Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+
+let int_field lineno what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> err lineno "%s: not an integer: %S" what s
+
+let parse_host_port lineno s =
+  (* host:port, with the port after the *last* colon so bracketless IPv6
+     hosts at least fail with a sensible message. *)
+  match String.rindex_opt s ':' with
+  | None -> err lineno "expected host:port, got %S" s
+  | Some i ->
+    let host = String.sub s 0 i in
+    let* port =
+      int_field lineno "port" (String.sub s (i + 1) (String.length s - i - 1))
+    in
+    if host = "" then err lineno "empty host in %S" s
+    else if port < 1 || port > 0xffff then err lineno "port %d out of range" port
+    else Ok { host; port }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let rec go lineno nodes links = function
+    | [] -> Ok (List.rev nodes, List.rev links)
+    | line :: rest -> (
+      match String.split_on_char ' ' (strip line) |> List.filter (( <> ) "") with
+      | [] -> go (lineno + 1) nodes links rest
+      | "node" :: id :: addr :: [] ->
+        let* id = int_field lineno "node id" id in
+        let* nd = parse_host_port lineno addr in
+        if List.mem_assoc id nodes then err lineno "duplicate node %d" id
+        else go (lineno + 1) ((id, nd) :: nodes) links rest
+      | "link" :: fields -> (
+        let with_link a b metric_ms mbps =
+          let* a = int_field lineno "link endpoint" a in
+          let* b = int_field lineno "link endpoint" b in
+          let* metric_ms = int_field lineno "metric" metric_ms in
+          let* mbps = int_field lineno "bandwidth" mbps in
+          if a = b then err lineno "self-loop on node %d" a
+          else if metric_ms < 1 then err lineno "metric must be positive"
+          else if mbps < 1 then err lineno "bandwidth must be positive"
+          else go (lineno + 1) nodes ({ a; b; metric_ms; mbps } :: links) rest
+        in
+        match fields with
+        | [ a; b ] -> with_link a b "10" "100"
+        | [ a; b; m ] -> with_link a b m "100"
+        | [ a; b; m; bw ] -> with_link a b m bw
+        | _ -> err lineno "link takes 2-4 fields")
+      | d :: _ -> err lineno "unknown directive %S" d)
+  in
+  let* nodes, links = go 1 [] [] lines in
+  let n = List.length nodes in
+  if n = 0 then Error "no nodes"
+  else
+    let arr = Array.make n { host = ""; port = 0 } in
+    let* () =
+      List.fold_left
+        (fun acc (id, nd) ->
+          let* () = acc in
+          if id < 0 || id >= n then
+            Error
+              (Printf.sprintf "node ids must be 0..%d (contiguous); got %d"
+                 (n - 1) id)
+          else begin
+            arr.(id) <- nd;
+            Ok ()
+          end)
+        (Ok ()) nodes
+    in
+    let* () =
+      List.fold_left
+        (fun acc { a; b; _ } ->
+          let* () = acc in
+          if a < 0 || a >= n || b < 0 || b >= n then
+            Error (Printf.sprintf "link %d-%d names an unknown node" a b)
+          else Ok ())
+        (Ok ()) links
+    in
+    let seen = Hashtbl.create 16 in
+    let* () =
+      List.fold_left
+        (fun acc { a; b; _ } ->
+          let* () = acc in
+          let key = (min a b, max a b) in
+          if Hashtbl.mem seen key then
+            Error (Printf.sprintf "duplicate link %d-%d" a b)
+          else begin
+            Hashtbl.add seen key ();
+            Ok ()
+          end)
+        (Ok ()) links
+    in
+    Ok { nodes = arr; links = Array.of_list links }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> (
+    match parse text with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e
+
+let graph t =
+  let g = Strovl_topo.Graph.create ~n:(Array.length t.nodes) in
+  Array.iter
+    (fun { a; b; _ } -> ignore (Strovl_topo.Graph.add_link g a b))
+    t.links;
+  g
+
+let metric t l = Strovl_sim.Time.ms t.links.(l).metric_ms
+let bandwidth_bps t l = t.links.(l).mbps * 1_000_000
+
+let addr t id =
+  let { host; port } = t.nodes.(id) in
+  let inet =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        failwith (Printf.sprintf "cannot resolve host %S" host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+  in
+  Unix.ADDR_INET (inet, port)

@@ -1,0 +1,49 @@
+(** Overlay topology files for real deployments.
+
+    A deployment is a handful of overlay nodes (the paper's "tens of
+    sites", §I) named by id, each reachable at a UDP address, joined by
+    overlay links with advertised latency metrics. The same file is given
+    to every daemon ([strovl_node --topo FILE --id N]) and to session
+    clients ([strovl_send], which only uses it to find its daemon's
+    address).
+
+    Line-oriented format; [#] starts a comment:
+    {v
+    node 0 127.0.0.1:7000
+    node 1 127.0.0.1:7001
+    node 2 127.0.0.1:7002
+    link 0 1 5        # endpoints, metric in ms (default 10)
+    link 1 2 5
+    link 0 2 30 1000  # optional 4th field: bandwidth in Mbit/s
+    v}
+
+    Link ids are assigned in file order starting at 0 — they are the wire
+    link ids in {!Strovl.Wire.datagram}s and the bit positions of
+    source-route masks, so every participant must use the same file. *)
+
+type node = { host : string; port : int }
+type link = { a : int; b : int; metric_ms : int; mbps : int }
+
+type t = { nodes : node array; links : link array }
+(** [nodes.(i)] is overlay node [i]; [links.(l)] is overlay link [l]. *)
+
+val parse : string -> (t, string) result
+(** Parses file contents. Rejects, with a line-numbered error: unknown
+    directives, malformed fields, duplicate or non-contiguous node ids,
+    links naming unknown nodes, self-loops, duplicate links, and
+    non-positive metrics or bandwidths. *)
+
+val load : string -> (t, string) result
+(** [parse] of the file at a path. *)
+
+val graph : t -> Strovl_topo.Graph.t
+(** The overlay graph; link ids match file order. *)
+
+val metric : t -> int -> int
+(** Link latency metric in µs (the unit [Conn_graph] advertises). *)
+
+val bandwidth_bps : t -> int -> int
+
+val addr : t -> int -> Unix.sockaddr
+(** Resolved UDP address of a node. Accepts dotted quads and hostnames.
+    @raise Failure if the hostname cannot be resolved. *)

@@ -1,0 +1,67 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;  (** reused receive buffer — no per-datagram allocation *)
+  mutable closed : bool;
+}
+
+(* Max UDP payload we ever expect: overlay headers are small (the codec
+   never materializes application payload), but session Stats frames carry
+   JSON. Comfortably under the 64k datagram limit. *)
+let max_datagram = 16384
+
+let bind ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  let inet =
+    if host = "" then Unix.inet_addr_any else Unix.inet_addr_of_string host
+  in
+  (try Unix.bind fd (Unix.ADDR_INET (inet, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; buf = Bytes.create max_datagram; closed = false }
+
+let fd t = t.fd
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> assert false
+
+let sendto t addr data =
+  match
+    Unix.sendto t.fd (Bytes.unsafe_of_string data) 0 (String.length data) []
+      addr
+  with
+  | _ -> true
+  | exception
+      Unix.Unix_error
+        ( ( Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ECONNREFUSED
+          | Unix.ENOBUFS ),
+          _,
+          _ ) ->
+    false
+
+let recvfrom t =
+  match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
+  | n, addr -> Some (Bytes.sub_string t.buf 0 n, addr)
+  | exception
+      Unix.Unix_error
+        ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ECONNREFUSED), _, _) ->
+    None
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+
+let rec drain t ~f =
+  if not t.closed then
+    match recvfrom t with
+    | Some (data, addr) ->
+      f data addr;
+      drain t ~f
+    | None -> ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end

@@ -271,6 +271,10 @@ let run ?(until = Time.infinity) t =
 
 let pending_events t = t.w_count + Heap.size t.heap
 
+let next_event_time t =
+  let nt = next_time t in
+  if nt < 0 then None else Some nt
+
 let clear t =
   let rec drain () =
     let s = pop_next t in

@@ -54,5 +54,11 @@ val step : t -> bool
 
 val pending_events : t -> int
 
+val next_event_time : t -> Time.t option
+(** Timestamp of the earliest pending event (cancelled events included —
+    they still advance the clock when popped), or [None] when the queue is
+    empty. A wall-clock driver ({!Strovl_rt.Runtime}) uses this to compute
+    how long it may sleep in [select] before the engine has due work. *)
+
 val clear : t -> unit
 (** Drops all pending events (the clock is kept). *)

@@ -1,0 +1,44 @@
+(** The scheduling interface of the event engine, extracted as a module
+    type.
+
+    Two implementations exist:
+
+    - {!Engine} — the deterministic discrete-event simulator: [now] is a
+      virtual clock that jumps from event to event, and time only passes
+      when [Engine.run]/[Engine.step] execute the queue.
+    - [Strovl_rt.Runtime] — the wall-clock runtime: the same pooled event
+      queue driven by the host's monotonic clock and a UDP readiness loop,
+      so [now] tracks real microseconds and due events fire as real time
+      reaches them.
+
+    The protocol stack (Node, the link protocols, probing) is written
+    against exactly this surface, which is what lets the identical code run
+    in simulated virtual time or against real sockets. Both implementations
+    are checked against this signature below and in [lib/rt]. *)
+
+module type S = sig
+  type t
+
+  type handle
+  (** Generation-tagged reference to a scheduled event: safe to [cancel]
+      after the event has fired and its slot was recycled. *)
+
+  val now : t -> Time.t
+  (** Current time in microseconds. Virtual under simulation, monotonic
+      wall clock under the real-time runtime. *)
+
+  val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+  (** Run the closure [delay] microseconds from [now]. *)
+
+  val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+
+  val cancel : t -> handle -> unit
+  (** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+  val is_pending : t -> handle -> bool
+  val pending_events : t -> int
+end
+
+(* The simulator engine implements the extracted interface. *)
+module Check_engine : S with type t = Engine.t and type handle = Engine.handle =
+  Engine

@@ -305,6 +305,110 @@ let analytic_header_size =
     (QCheck.make gen_msg)
     (fun msg -> Wire.header_size msg = String.length (Wire.encode msg))
 
+(* Session frames (client <-> daemon) and the UDP datagram framing the
+   wall-clock runtime puts on real sockets. *)
+
+let gen_frame =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun sport -> Wire.Session.Open { sport }) (int_bound 100000);
+        (let* node = int_bound 60000 in
+         let* sport = int_bound 100000 in
+         return (Wire.Session.Open_ok { node; sport }));
+        (let* group = int_bound 100000 in
+         let* sport = int_bound 100000 in
+         return (Wire.Session.Join { group; sport }));
+        (let* group = int_bound 100000 in
+         let* sport = int_bound 100000 in
+         return (Wire.Session.Leave { group; sport }));
+        (let* sport = int_bound 100000 in
+         let* dest = gen_dest in
+         let* dport = int_bound 100000 in
+         let* service = gen_service in
+         let* seq = int_bound 1_000_000 in
+         let* bytes = int_bound 65536 in
+         let* tag = string_size (int_bound 32) in
+         return
+           (Wire.Session.Send { sport; dest; dport; service; seq; bytes; tag }));
+        (let* sport = int_bound 100000 in
+         let* seq = int_bound 1_000_000 in
+         let* accepted = bool in
+         return (Wire.Session.Sent { sport; seq; accepted }));
+        (let* sport = int_bound 100000 in
+         let* at = int_bound 1_000_000_000 in
+         let* pkt = gen_packet in
+         return (Wire.Session.Deliver { sport; at; pkt }));
+        map (fun what -> Wire.Session.Stats_req { what }) (int_bound 255);
+        map (fun json -> Wire.Session.Stats { json })
+          (string_size (int_bound 200));
+        map (fun sport -> Wire.Session.Close { sport }) (int_bound 100000);
+      ])
+
+let qcheck_session_roundtrip =
+  QCheck.Test.make ~name:"arbitrary session frame roundtrips exactly"
+    ~count:500 (QCheck.make gen_frame) (fun f ->
+      Wire.Session.decode (Wire.Session.encode f) = Ok f)
+
+let analytic_session_size =
+  QCheck.Test.make ~name:"Session.size matches encode length" ~count:500
+    (QCheck.make gen_frame)
+    (fun f -> Wire.Session.size f = String.length (Wire.Session.encode f))
+
+let gen_datagram =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* src = int_bound 60000 in
+         let* link = int_bound 60000 in
+         let* msg = gen_msg in
+         return (Wire.Dg_msg { src; link; msg }));
+        map (fun f -> Wire.Dg_session f) gen_frame;
+      ])
+
+let qcheck_datagram_roundtrip =
+  QCheck.Test.make ~name:"arbitrary datagram roundtrips exactly" ~count:500
+    (QCheck.make gen_datagram)
+    (fun d -> Wire.decode_datagram (Wire.encode_datagram d) = Ok d)
+
+let analytic_datagram_size =
+  QCheck.Test.make ~name:"datagram_size matches encode length" ~count:500
+    (QCheck.make gen_datagram)
+    (fun d -> Wire.datagram_size d = String.length (Wire.encode_datagram d))
+
+let truncated_datagrams_rejected =
+  (* Every strict prefix of a valid datagram must decode to Error (never an
+     exception): what a daemon sees when the kernel clips a read or a peer
+     sends garbage. Trailing junk likewise. *)
+  QCheck.Test.make ~name:"truncated datagram prefixes all rejected" ~count:200
+    (QCheck.make gen_datagram)
+    (fun d ->
+      let s = Wire.encode_datagram d in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        match Wire.decode_datagram (String.sub s 0 n) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      (match Wire.decode_datagram (s ^ "\x00") with
+      | Ok _ -> ok := false
+      | Error _ -> ());
+      !ok)
+
+let hostile_datagrams_rejected () =
+  let bad s =
+    match Wire.decode_datagram s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "empty" true (bad "");
+  check_bool "bad magic" true (bad "Xo\x01\x00");
+  check_bool "bad version" true (bad "So\x02\x00");
+  check_bool "unknown kind" true (bad "So\x01\x07");
+  check_bool "preamble only" true (bad "So\x01\x00");
+  check_bool "session with unknown frame tag" true (bad "So\x01\x01\xff");
+  (* A session frame where an overlay message should be, and vice versa. *)
+  let open_f = Wire.Session.encode (Wire.Session.Open { sport = 9 }) in
+  check_bool "kind/body mismatch" true (bad ("So\x01\x00\x00\x01\x00\x02" ^ open_f))
+
 let () =
   Alcotest.run "strovl_wire"
     [
@@ -323,5 +427,15 @@ let () =
           QCheck_alcotest.to_alcotest analytic_header_size;
           Alcotest.test_case "hostile inputs" `Quick hostile_inputs_rejected;
           Alcotest.test_case "corruption fuzz" `Quick corrupted_bytes_never_raise;
+        ] );
+      ( "session",
+        [
+          QCheck_alcotest.to_alcotest qcheck_session_roundtrip;
+          QCheck_alcotest.to_alcotest analytic_session_size;
+          QCheck_alcotest.to_alcotest qcheck_datagram_roundtrip;
+          QCheck_alcotest.to_alcotest analytic_datagram_size;
+          QCheck_alcotest.to_alcotest truncated_datagrams_rejected;
+          Alcotest.test_case "hostile datagrams" `Quick
+            hostile_datagrams_rejected;
         ] );
     ]
